@@ -1,0 +1,11 @@
+//! Regenerates Figures 13/14 — L2 = 128 KB sensitivity.
+use bench::{bench_budget, header};
+use experiments::figures::sensitivity::{self, Sensitivity};
+
+fn main() {
+    header("Figures 13/14 — L2 = 128 KB sensitivity");
+    let which = Sensitivity::L2Small;
+    let study = sensitivity::run(which, bench_budget());
+    println!("{}", sensitivity::format_wear(which, &study));
+    println!("{}", sensitivity::format_ipc(which, &study));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figures 17/18 — ROB = 168 sensitivity.
+use bench::{bench_budget, header};
+use experiments::figures::sensitivity::{self, Sensitivity};
+
+fn main() {
+    header("Figures 17/18 — ROB = 168 sensitivity");
+    let which = Sensitivity::RobLarge;
+    let study = sensitivity::run(which, bench_budget());
+    println!("{}", sensitivity::format_wear(which, &study));
+    println!("{}", sensitivity::format_ipc(which, &study));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 2: WPKI+MPKI per application.
+use bench::{bench_budget, header};
+use experiments::figures::table2;
+
+fn main() {
+    header("Figure 2 — WPKI+MPKI per application");
+    let rows = table2::run(bench_budget());
+    println!("{}", table2::format_fig2(&rows));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 7 — criticality prediction accuracy (threshold sweep).
+use bench::{bench_budget, header};
+use experiments::figures::predictor_study;
+use renuca_core::CptConfig;
+
+fn main() {
+    header("Figure 7 — criticality prediction accuracy");
+    let study = predictor_study::run(bench_budget(), &CptConfig::THRESHOLD_SWEEP);
+    println!("{}", predictor_study::format_fig7(&study));
+}

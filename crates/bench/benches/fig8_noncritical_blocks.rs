@@ -1,0 +1,10 @@
+//! Regenerates Figure 8 — non-critical fetched blocks (threshold sweep).
+use bench::{bench_budget, header};
+use experiments::figures::predictor_study;
+use renuca_core::CptConfig;
+
+fn main() {
+    header("Figure 8 — non-critical fetched blocks");
+    let study = predictor_study::run(bench_budget(), &CptConfig::THRESHOLD_SWEEP);
+    println!("{}", predictor_study::format_fig8(&study));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table III: raw minimum lifetimes, all four configurations.
+use bench::{bench_budget, header};
+use experiments::figures::table3;
+
+fn main() {
+    header("Table III — raw minimum lifetimes");
+    let t3 = table3::run(bench_budget().sweep());
+    println!("{}", table3::format_table3(&t3));
+}

@@ -1,0 +1,65 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Two kinds of bench targets live in `benches/`:
+//!
+//! * `micro` — Criterion micro-benchmarks of the hot substrate structures
+//!   (cache arrays, CPT, mesh routing, DRAM timing, full-system
+//!   throughput);
+//! * `figN_*` / `tableN_*` — custom-harness targets that regenerate the
+//!   corresponding paper figure/table and print the same rows/series. Run
+//!   an individual one with `cargo bench -p bench --bench fig12_renuca_wearout`,
+//!   or everything with `cargo bench --workspace`.
+//!
+//! Figure targets default to a reduced instruction budget so a full
+//! `cargo bench --workspace` stays in the ~10-minute range on one CPU;
+//! export `RENUCA_MEASURE` / `RENUCA_WARMUP` (instructions per core) to
+//! regenerate at paper-quality budgets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use experiments::Budget;
+
+/// The reduced default budget for figure bench targets (overridable via
+/// `RENUCA_WARMUP` / `RENUCA_MEASURE`).
+pub fn bench_budget() -> Budget {
+    let env = Budget::from_env();
+    let default = Budget {
+        warmup: 150_000,
+        measure: 100_000,
+    };
+    Budget {
+        warmup: if std::env::var("RENUCA_WARMUP").is_ok() {
+            env.warmup
+        } else {
+            default.warmup
+        },
+        measure: if std::env::var("RENUCA_MEASURE").is_ok() {
+            env.measure
+        } else {
+            default.measure
+        },
+    }
+}
+
+/// Print a standard header so bench output is self-describing.
+pub fn header(what: &str) {
+    println!("=== {what} ===");
+    let b = bench_budget();
+    println!(
+        "(budget: warmup={} measure={} instructions/core; set RENUCA_MEASURE/RENUCA_WARMUP to rescale)\n",
+        b.warmup, b.measure
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_budget_has_sane_defaults() {
+        let b = bench_budget();
+        assert!(b.measure >= 20_000);
+        assert!(b.warmup >= 10_000);
+    }
+}

@@ -1,0 +1,179 @@
+//! The Reorder Buffer: a fixed-capacity ring of in-flight instructions.
+//!
+//! Out-of-order cores execute instructions in any order but *commit* them in
+//! program order through the ROB. The Re-NUCA criticality definition lives
+//! exactly here (paper §IV.A): *"A load issued by a processor is considered
+//! critical if it blocks the head of the ROB"* — a load whose data has not
+//! returned when it reaches the ROB head stalls every younger, ready
+//! instruction behind it.
+
+use crate::types::{Cycle, Pc};
+
+/// One in-flight instruction.
+#[derive(Clone, Copy, Debug)]
+pub struct RobEntry {
+    /// Cycle at which this instruction's result is ready to commit.
+    pub complete_at: Cycle,
+    /// PC (meaningful for loads; 0 otherwise).
+    pub pc: Pc,
+    /// Whether this is a load (criticality tracking applies).
+    pub is_load: bool,
+    /// Set the first time this entry blocks the ROB head, so the
+    /// `robBlockCount` of its PC is incremented once per dynamic load.
+    pub blocked_head: bool,
+    /// The criticality prediction made for this load at issue (for
+    /// accuracy accounting at commit).
+    pub predicted_critical: bool,
+}
+
+/// Fixed-capacity circular reorder buffer.
+#[derive(Clone, Debug)]
+pub struct Rob {
+    entries: Vec<RobEntry>,
+    head: usize,
+    len: usize,
+}
+
+impl Rob {
+    /// A ROB with `capacity` entries (Table I: 128; sensitivity: 168).
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ROB needs at least one entry");
+        Rob {
+            entries: vec![
+                RobEntry {
+                    complete_at: 0,
+                    pc: 0,
+                    is_load: false,
+                    blocked_head: false,
+                    predicted_critical: false,
+                };
+                capacity
+            ],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ROB holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether dispatch must stall.
+    pub fn is_full(&self) -> bool {
+        self.len == self.entries.len()
+    }
+
+    /// Dispatch an instruction into the tail.
+    ///
+    /// # Panics
+    /// Panics when full — the core model must check `is_full` first.
+    pub fn push(&mut self, entry: RobEntry) {
+        assert!(!self.is_full(), "ROB overflow");
+        let tail = (self.head + self.len) % self.entries.len();
+        self.entries[tail] = entry;
+        self.len += 1;
+    }
+
+    /// The oldest in-flight instruction, if any.
+    pub fn head(&self) -> Option<&RobEntry> {
+        (self.len > 0).then(|| &self.entries[self.head])
+    }
+
+    /// Mutable access to the oldest entry (to set `blocked_head`).
+    pub fn head_mut(&mut self) -> Option<&mut RobEntry> {
+        (self.len > 0).then(|| &mut self.entries[self.head])
+    }
+
+    /// Commit (remove) the oldest instruction.
+    ///
+    /// # Panics
+    /// Panics when empty.
+    pub fn pop_head(&mut self) -> RobEntry {
+        assert!(self.len > 0, "ROB underflow");
+        let e = self.entries[self.head];
+        self.head = (self.head + 1) % self.entries.len();
+        self.len -= 1;
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(complete_at: Cycle, pc: Pc) -> RobEntry {
+        RobEntry {
+            complete_at,
+            pc,
+            is_load: true,
+            blocked_head: false,
+            predicted_critical: false,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut rob = Rob::new(4);
+        rob.push(load(10, 1));
+        rob.push(load(20, 2));
+        assert_eq!(rob.len(), 2);
+        assert_eq!(rob.pop_head().pc, 1);
+        assert_eq!(rob.pop_head().pc, 2);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn wraps_around() {
+        let mut rob = Rob::new(2);
+        rob.push(load(1, 1));
+        rob.push(load(2, 2));
+        assert!(rob.is_full());
+        rob.pop_head();
+        rob.push(load(3, 3));
+        assert_eq!(rob.pop_head().pc, 2);
+        assert_eq!(rob.pop_head().pc, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn push_when_full_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(load(1, 1));
+        rob.push(load(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn pop_when_empty_panics() {
+        Rob::new(1).pop_head();
+    }
+
+    #[test]
+    fn head_mut_marks_blocked() {
+        let mut rob = Rob::new(2);
+        rob.push(load(100, 7));
+        assert!(!rob.head().unwrap().blocked_head);
+        rob.head_mut().unwrap().blocked_head = true;
+        assert!(rob.head().unwrap().blocked_head);
+    }
+
+    #[test]
+    fn capacity_reported() {
+        assert_eq!(Rob::new(128).capacity(), 128);
+        assert_eq!(Rob::new(168).capacity(), 168);
+    }
+}

@@ -1,0 +1,418 @@
+//! The full-system simulator: N cores stepping against a shared memory
+//! hierarchy, with warm-up / measurement phases and result extraction.
+
+use crate::config::SystemConfig;
+use crate::cpu::{CoreModel, CoreStats};
+use crate::hierarchy::{HierarchyStats, MemoryHierarchy, PerCoreMemStats};
+use crate::instr::InstrSource;
+use crate::placement::{CriticalityPredictor, LlcPlacement, NeverCritical, PredictorStats};
+use crate::types::{CoreId, Cycle};
+use wear_model::WearTracker;
+
+/// Per-core results of a measured run.
+#[derive(Clone, Debug)]
+pub struct CoreResult {
+    /// Workload label running on this core.
+    pub label: String,
+    /// Instructions committed during measurement.
+    pub committed: u64,
+    /// Cycles from measurement start to this core draining.
+    pub cycles: Cycle,
+    /// Committed instructions per cycle.
+    pub ipc: f64,
+    /// L3 misses per kilo-instruction.
+    pub mpki: f64,
+    /// L2→L3 writebacks per kilo-instruction.
+    pub wpki: f64,
+    /// L3 hit rate for this core's demand stream.
+    pub l3_hit_rate: f64,
+    /// Core execution counters.
+    pub core_stats: CoreStats,
+    /// Hierarchy counters for this core.
+    pub mem_stats: PerCoreMemStats,
+    /// Predictor issue-time counters.
+    pub predictor: PredictorStats,
+}
+
+/// Results of one measured simulation window.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Placement scheme that produced this run.
+    pub scheme: &'static str,
+    /// Measured window length in cycles (to the last core's drain).
+    pub cycles: Cycle,
+    /// Per-core results.
+    pub per_core: Vec<CoreResult>,
+    /// Total writes each L3 bank absorbed (index = bank).
+    pub bank_writes: Vec<u64>,
+    /// Full per-slot wear counters (lifetime extrapolation input).
+    pub wear: WearTracker,
+    /// Global hierarchy counters.
+    pub hierarchy: HierarchyStats,
+    /// NoC statistics.
+    pub noc: crate::noc::NocStats,
+    /// DRAM statistics.
+    pub dram: crate::dram::DramStats,
+}
+
+impl SimResult {
+    /// System throughput: sum of per-core IPC (the paper's Figure 11
+    /// metric, normalized there to S-NUCA).
+    pub fn total_ipc(&self) -> f64 {
+        self.per_core.iter().map(|c| c.ipc).sum()
+    }
+
+    /// Average MPKI across cores.
+    pub fn avg_mpki(&self) -> f64 {
+        sim_stats::amean(&self.per_core.iter().map(|c| c.mpki).collect::<Vec<_>>())
+    }
+
+    /// Average WPKI across cores.
+    pub fn avg_wpki(&self) -> f64 {
+        sim_stats::amean(&self.per_core.iter().map(|c| c.wpki).collect::<Vec<_>>())
+    }
+}
+
+/// The simulated machine: configuration, cores, workload sources, criticality
+/// predictors and the shared memory system.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<CoreModel>,
+    sources: Vec<Box<dyn InstrSource>>,
+    predictors: Vec<Box<dyn CriticalityPredictor>>,
+    /// The shared memory system (public for inspection).
+    pub mem: MemoryHierarchy,
+    now: Cycle,
+    measure_start: Cycle,
+}
+
+impl System {
+    /// Build a system. `sources` must provide one instruction stream per
+    /// core; `predictors` one criticality predictor per core (use
+    /// [`System::never_critical`] for schemes without criticality logic).
+    ///
+    /// # Panics
+    /// Panics when the source/predictor counts do not match `cfg.n_cores`.
+    pub fn new(
+        cfg: SystemConfig,
+        policy: Box<dyn LlcPlacement>,
+        sources: Vec<Box<dyn InstrSource>>,
+        predictors: Vec<Box<dyn CriticalityPredictor>>,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(sources.len(), cfg.n_cores, "one instruction source per core");
+        assert_eq!(predictors.len(), cfg.n_cores, "one predictor per core");
+        System {
+            cores: (0..cfg.n_cores).map(|i| CoreModel::new(i, &cfg)).collect(),
+            sources,
+            predictors,
+            mem: MemoryHierarchy::new(&cfg, policy),
+            cfg,
+            now: 0,
+            measure_start: 0,
+        }
+    }
+
+    /// A vector of [`NeverCritical`] predictors sized for `cfg`.
+    pub fn never_critical(cfg: &SystemConfig) -> Vec<Box<dyn CriticalityPredictor>> {
+        (0..cfg.n_cores)
+            .map(|_| Box::new(NeverCritical) as Box<dyn CriticalityPredictor>)
+            .collect()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Run every core for `instr_per_core` further instructions; returns
+    /// when the last core drains.
+    ///
+    /// # Panics
+    /// Panics if the system livelocks (a substrate bug), after a generous
+    /// cycle bound of `10_000 × instr_per_core + 1_000_000`.
+    pub fn run(&mut self, instr_per_core: u64) {
+        let bound = self
+            .now
+            .saturating_add(10_000u64.saturating_mul(instr_per_core) + 1_000_000);
+        let n = self.cores.len();
+        let mut next_active: Vec<Cycle> = vec![self.now; n];
+        for c in &mut self.cores {
+            c.add_budget(instr_per_core);
+        }
+        loop {
+            let mut all_done = true;
+            let mut soonest = Cycle::MAX;
+            for i in 0..n {
+                if next_active[i] <= self.now {
+                    let nxt = self.cores[i].step(
+                        self.now,
+                        self.sources[i].as_mut(),
+                        self.predictors[i].as_mut(),
+                        &mut self.mem,
+                    );
+                    next_active[i] = nxt;
+                }
+                if !self.cores[i].is_done() {
+                    all_done = false;
+                    soonest = soonest.min(next_active[i]);
+                }
+            }
+            if all_done {
+                break;
+            }
+            // Advance to the earliest cycle anything can happen (usually
+            // now+1; a long jump when every core is stalled on memory).
+            debug_assert!(soonest > self.now, "time must advance");
+            self.now = soonest;
+            assert!(
+                self.now < bound,
+                "simulation exceeded {bound} cycles for {instr_per_core} instructions/core — livelock?"
+            );
+        }
+    }
+
+    /// Run a warm-up phase of `instr_per_core` instructions and then reset
+    /// all statistics (cache/TLB/predictor/policy *state* is preserved).
+    pub fn warmup(&mut self, instr_per_core: u64) {
+        self.run(instr_per_core);
+        self.mem.reset_stats();
+        for c in &mut self.cores {
+            c.reset_stats();
+        }
+        self.measure_start = self.now;
+    }
+
+    /// Functionally install each source's `warm_ranges` into the hierarchy
+    /// (checkpoint-style cache warming; see
+    /// [`InstrSource::warm_ranges`](crate::instr::InstrSource::warm_ranges)).
+    /// Call before `warmup`/`run` — statistics accumulated here are wiped
+    /// by the warm-up reset.
+    pub fn prewarm(&mut self) {
+        use crate::types::{line_of, phys_addr, LINE_BYTES};
+        let pf = self.mem.prefetcher_enabled();
+        self.mem.set_prefetcher_enabled(false);
+        for core in 0..self.cores.len() {
+            for (start, bytes) in self.sources[core].warm_ranges() {
+                let first = line_of(start);
+                let last = line_of(start + bytes.saturating_sub(1));
+                for line in first..=last {
+                    let phys = phys_addr(core, line * LINE_BYTES);
+                    self.mem.prewarm_fill(core, phys);
+                }
+            }
+        }
+        self.mem.set_prefetcher_enabled(pf);
+        self.mem.reset_stats();
+    }
+
+    /// Extract the results of the measurement window (call after `run`).
+    pub fn result(&self) -> SimResult {
+        let per_core = (0..self.cores.len())
+            .map(|i| {
+                let core = &self.cores[i];
+                let cs = core.stats;
+                let ms = self.mem.per_core_stats(i);
+                let cycles = core
+                    .finished_at()
+                    .unwrap_or(self.now)
+                    .saturating_sub(self.measure_start)
+                    .max(1);
+                let kinstr = cs.committed.get() as f64 / 1000.0;
+                CoreResult {
+                    label: self.sources[i].label().to_owned(),
+                    committed: cs.committed.get(),
+                    cycles,
+                    ipc: cs.committed.get() as f64 / cycles as f64,
+                    mpki: if kinstr > 0.0 {
+                        ms.l3_misses as f64 / kinstr
+                    } else {
+                        0.0
+                    },
+                    wpki: if kinstr > 0.0 {
+                        ms.l2_writebacks as f64 / kinstr
+                    } else {
+                        0.0
+                    },
+                    l3_hit_rate: ms.l3_hit_rate(),
+                    core_stats: cs,
+                    mem_stats: ms,
+                    predictor: self.predictors[i].stats(),
+                }
+            })
+            .collect();
+        SimResult {
+            scheme: self.mem.policy_name(),
+            cycles: (self.now - self.measure_start).max(1),
+            per_core,
+            bank_writes: self.mem.wear.bank_totals().to_vec(),
+            wear: self.mem.wear.clone(),
+            hierarchy: self.mem.stats,
+            noc: self.mem.mesh.stats,
+            dram: self.mem.dram.stats,
+        }
+    }
+
+    /// Convenience: warm up, measure, and return results in one call.
+    pub fn run_measured(&mut self, warmup: u64, measure: u64) -> SimResult {
+        self.warmup(warmup);
+        self.run(measure);
+        self.result()
+    }
+
+    /// Per-core access to a predictor (ablation statistics).
+    pub fn predictor(&self, core: CoreId) -> &dyn CriticalityPredictor {
+        self.predictors[core].as_ref()
+    }
+
+    /// Per-core access to core stats.
+    pub fn core_stats(&self, core: CoreId) -> CoreStats {
+        self.cores[core].stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{CyclicSource, Instr};
+    use crate::placement::{AccessMeta, LlcPlacement};
+    use crate::types::BankId;
+
+    struct Striped {
+        nbanks: usize,
+    }
+    impl LlcPlacement for Striped {
+        fn name(&self) -> &'static str {
+            "striped"
+        }
+        fn lookup_bank(&mut self, m: &AccessMeta) -> BankId {
+            (m.line as usize) & (self.nbanks - 1)
+        }
+        fn fill_bank(&mut self, m: &AccessMeta) -> BankId {
+            (m.line as usize) & (self.nbanks - 1)
+        }
+    }
+
+    fn alu_heavy_source() -> Box<dyn InstrSource> {
+        Box::new(CyclicSource::new(
+            "alu",
+            vec![
+                Instr::Alu { latency: 1 },
+                Instr::Alu { latency: 1 },
+                Instr::Alu { latency: 1 },
+                Instr::Load { vaddr: 64, pc: 1 },
+            ],
+        ))
+    }
+
+    fn stream_source(span_lines: u64) -> Box<dyn InstrSource> {
+        let instrs: Vec<Instr> = (0..span_lines)
+            .flat_map(|i| {
+                vec![
+                    Instr::Load { vaddr: i * 64, pc: 2 },
+                    Instr::Alu { latency: 1 },
+                ]
+            })
+            .collect();
+        Box::new(CyclicSource::new("stream", instrs))
+    }
+
+    fn build(n: usize, sources: Vec<Box<dyn InstrSource>>) -> System {
+        let cfg = SystemConfig::small(n);
+        let preds = System::never_critical(&cfg);
+        System::new(cfg, Box::new(Striped { nbanks: n }), sources, preds)
+    }
+
+    #[test]
+    fn four_cores_run_to_completion() {
+        let sources = (0..4).map(|_| alu_heavy_source()).collect();
+        let mut sys = build(4, sources);
+        sys.run(2_000);
+        let r = sys.result();
+        assert_eq!(r.per_core.len(), 4);
+        for c in &r.per_core {
+            assert_eq!(c.committed, 2_000);
+            assert!(c.ipc > 0.5, "ipc {}", c.ipc);
+        }
+        assert!(r.total_ipc() > 2.0);
+    }
+
+    #[test]
+    fn warmup_resets_statistics_but_keeps_caches() {
+        let sources = (0..4).map(|_| alu_heavy_source()).collect();
+        let mut sys = build(4, sources);
+        sys.warmup(1_000);
+        // After warm-up the hot line is cached: the measured window has
+        // (nearly) no L3 misses and zero wear.
+        assert_eq!(sys.mem.wear.total_writes(), 0);
+        sys.run(1_000);
+        let r = sys.result();
+        assert_eq!(r.per_core[0].committed, 1_000);
+        assert_eq!(
+            r.per_core[0].mem_stats.l3_misses, 0,
+            "hot line must be warm"
+        );
+    }
+
+    #[test]
+    fn streaming_cores_generate_misses_and_wear() {
+        // Streams larger than L3: 4 cores x 1 MB L3 span... use 3x the
+        // total L3 (4 banks x 2MB = 8MB -> 128K lines); span 64K lines/core
+        // with 4 cores = 16 MB total footprint.
+        let sources = (0..4).map(|_| stream_source(65_536)).collect();
+        let mut sys = build(4, sources);
+        sys.run(20_000);
+        let r = sys.result();
+        assert!(r.per_core[0].mpki > 100.0, "stream mpki {}", r.per_core[0].mpki);
+        assert!(sys.mem.wear.total_writes() > 10_000);
+        // Striped placement: bank write counts within 2x of each other.
+        let totals = r.bank_writes.clone();
+        let max = *totals.iter().max().unwrap() as f64;
+        let min = *totals.iter().min().unwrap() as f64;
+        assert!(max / min.max(1.0) < 2.0, "striping should balance: {totals:?}");
+    }
+
+    #[test]
+    fn result_metrics_are_consistent() {
+        let sources = (0..4).map(|_| stream_source(1024)).collect();
+        let mut sys = build(4, sources);
+        let r = sys.run_measured(500, 2_000);
+        for c in &r.per_core {
+            assert_eq!(c.committed, 2_000);
+            assert!(c.mpki >= 0.0 && c.wpki >= 0.0);
+            assert!(c.l3_hit_rate >= 0.0 && c.l3_hit_rate <= 1.0);
+            assert!(c.cycles > 0);
+        }
+        // Total L3 writes equal wear-tracked writes.
+        assert_eq!(r.hierarchy.l3_writes.get(), r.wear.total_writes());
+    }
+
+    #[test]
+    #[should_panic(expected = "one instruction source per core")]
+    fn source_count_mismatch_rejected() {
+        let cfg = SystemConfig::small(4);
+        let preds = System::never_critical(&cfg);
+        System::new(cfg, Box::new(Striped { nbanks: 4 }), vec![], preds);
+    }
+
+    #[test]
+    fn single_core_system_works() {
+        let mut sys = build(1, vec![alu_heavy_source()]);
+        sys.run(1_000);
+        assert_eq!(sys.result().per_core[0].committed, 1_000);
+    }
+
+    #[test]
+    fn time_advances_monotonically_across_runs() {
+        let mut sys = build(1, vec![alu_heavy_source()]);
+        sys.run(100);
+        let t1 = sys.now();
+        sys.run(100);
+        assert!(sys.now() > t1);
+    }
+}

@@ -1,0 +1,7 @@
+//! Run the six ablation studies (DESIGN.md §7).
+use experiments::figures::ablations;
+use experiments::Budget;
+
+fn main() {
+    println!("{}", ablations::run_all(Budget::from_env().sweep()));
+}

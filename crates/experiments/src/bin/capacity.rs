@@ -1,0 +1,9 @@
+//! Capacity-retention curves per scheme (extension of the paper's §III.B).
+use cmp_sim::SystemConfig;
+use experiments::figures::{capacity, lifetime};
+use experiments::Budget;
+
+fn main() {
+    let study = lifetime::run("Actual Results", SystemConfig::default(), Budget::from_env());
+    println!("{}", capacity::format_retention(&study, 16.0, 9));
+}

@@ -1,0 +1,10 @@
+//! Regenerate Figure 11 (IPC improvements over S-NUCA).
+use cmp_sim::SystemConfig;
+use experiments::figures::lifetime;
+use experiments::Budget;
+
+fn main() {
+    let study = lifetime::run("Actual Results", SystemConfig::default(), Budget::from_env());
+    println!("{}", lifetime::format_fig11(&study));
+    println!("{}", lifetime::headline(&study));
+}

@@ -1,0 +1,10 @@
+//! Regenerate Figure 12 (Re-NUCA wear-leveling, all five schemes).
+use cmp_sim::SystemConfig;
+use experiments::figures::lifetime;
+use experiments::Budget;
+
+fn main() {
+    let study = lifetime::run("Actual Results", SystemConfig::default(), Budget::from_env());
+    println!("{}", lifetime::format_fig12(&study));
+    println!("{}", lifetime::headline(&study));
+}

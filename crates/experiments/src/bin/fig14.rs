@@ -1,0 +1,8 @@
+//! Regenerate Figure 14 (sensitivity study: L2 = 128 KB, IPC).
+use experiments::figures::sensitivity::{self, Sensitivity};
+use experiments::Budget;
+
+fn main() {
+    let study = sensitivity::run(Sensitivity::L2Small, Budget::from_env());
+    println!("{}", sensitivity::format_ipc(Sensitivity::L2Small, &study));
+}

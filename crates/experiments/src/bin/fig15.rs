@@ -1,0 +1,8 @@
+//! Regenerate Figure 15 (sensitivity study: L3 bank = 1 MB, wear).
+use experiments::figures::sensitivity::{self, Sensitivity};
+use experiments::Budget;
+
+fn main() {
+    let study = sensitivity::run(Sensitivity::L3Small, Budget::from_env());
+    println!("{}", sensitivity::format_wear(Sensitivity::L3Small, &study));
+}

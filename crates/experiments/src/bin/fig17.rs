@@ -1,0 +1,8 @@
+//! Regenerate Figure 17 (sensitivity study: ROB = 168, wear).
+use experiments::figures::sensitivity::{self, Sensitivity};
+use experiments::Budget;
+
+fn main() {
+    let study = sensitivity::run(Sensitivity::RobLarge, Budget::from_env());
+    println!("{}", sensitivity::format_wear(Sensitivity::RobLarge, &study));
+}

@@ -1,0 +1,8 @@
+//! Regenerate Figure 18 (sensitivity study: ROB = 168, IPC).
+use experiments::figures::sensitivity::{self, Sensitivity};
+use experiments::Budget;
+
+fn main() {
+    let study = sensitivity::run(Sensitivity::RobLarge, Budget::from_env());
+    println!("{}", sensitivity::format_ipc(Sensitivity::RobLarge, &study));
+}

@@ -1,0 +1,8 @@
+//! Regenerate Figure 2 (WPKI+MPKI per application).
+use experiments::figures::table2;
+use experiments::Budget;
+
+fn main() {
+    let rows = table2::run(Budget::from_env());
+    println!("{}", table2::format_fig2(&rows));
+}

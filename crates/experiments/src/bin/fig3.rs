@@ -1,0 +1,9 @@
+//! Regenerate Figure 3 (motivation: baseline per-bank lifetimes).
+use cmp_sim::SystemConfig;
+use experiments::figures::lifetime;
+use experiments::Budget;
+
+fn main() {
+    let study = lifetime::run("Actual Results", SystemConfig::default(), Budget::from_env());
+    println!("{}", lifetime::format_fig3(&study));
+}

@@ -1,0 +1,9 @@
+//! Regenerate Figure 4b (performance-vs-lifetime trade-off).
+use cmp_sim::SystemConfig;
+use experiments::figures::lifetime;
+use experiments::Budget;
+
+fn main() {
+    let study = lifetime::run("Actual Results", SystemConfig::default(), Budget::from_env());
+    println!("{}", lifetime::format_fig4b(&study));
+}

@@ -1,0 +1,9 @@
+//! Regenerate Figure 5 (non-critical load percentage per application).
+use experiments::figures::criticality;
+use experiments::Budget;
+
+fn main() {
+    let rows = criticality::run(Budget::from_env());
+    println!("{}", criticality::format_fig5(&rows));
+    println!("Average: {:.1}% (paper: >80%)", criticality::average(&rows));
+}

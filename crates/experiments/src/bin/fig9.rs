@@ -1,0 +1,9 @@
+//! Regenerate Figure 9 (criticality-predictor characterization).
+use experiments::figures::predictor_study;
+use experiments::Budget;
+use renuca_core::CptConfig;
+
+fn main() {
+    let study = predictor_study::run(Budget::from_env(), &CptConfig::THRESHOLD_SWEEP);
+    println!("{}", predictor_study::format_fig9(&study));
+}

@@ -1,0 +1,8 @@
+//! Regenerate the paper's Table II (application characteristics).
+use experiments::figures::table2;
+use experiments::Budget;
+
+fn main() {
+    let rows = table2::run(Budget::from_env());
+    println!("{}", table2::format_table2(&rows));
+}

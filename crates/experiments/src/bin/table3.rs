@@ -1,0 +1,8 @@
+//! Regenerate Table III (raw minimum lifetimes, 4 configs x 5 schemes).
+use experiments::figures::table3;
+use experiments::Budget;
+
+fn main() {
+    let t3 = table3::run(Budget::from_env());
+    println!("{}", table3::format_table3(&t3));
+}

@@ -1,0 +1,88 @@
+//! Instruction budgets for experiment runs.
+
+/// Per-core instruction budgets for one simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Budget {
+    /// Warm-up instructions per core (statistics discarded).
+    pub warmup: u64,
+    /// Measured instructions per core.
+    pub measure: u64,
+}
+
+impl Budget {
+    /// Default budgets, overridable via `RENUCA_WARMUP` / `RENUCA_MEASURE`.
+    ///
+    /// The paper simulates 100 M instructions per core after warming; the
+    /// synthetic workload models are stationary, so bank write *rates* and
+    /// criticality mixes converge within a few hundred thousand
+    /// instructions — which is what one CPU can sweep over 5 schemes × 10
+    /// workloads × 4 configurations in minutes rather than days.
+    pub fn from_env() -> Self {
+        Budget {
+            warmup: env_u64("RENUCA_WARMUP", 500_000),
+            measure: env_u64("RENUCA_MEASURE", 300_000),
+        }
+    }
+
+    /// A reduced budget for the multi-configuration sweeps (sensitivity
+    /// studies run 150 extra simulations).
+    pub fn sweep(self) -> Self {
+        Budget {
+            warmup: (self.warmup * 3 / 5).max(10_000),
+            measure: (self.measure / 2).max(20_000),
+        }
+    }
+
+    /// Tiny budget for unit/integration tests.
+    pub fn test() -> Self {
+        Budget {
+            warmup: 2_000,
+            measure: 10_000,
+        }
+    }
+
+    /// Budget for cheap single-core characterization runs (22 apps).
+    /// Longer than the 16-core budget: WPKI needs several full L2 churns
+    /// to reach steady state, and single-core runs are ~50x cheaper.
+    pub fn single_core(self) -> Self {
+        Budget {
+            warmup: self.warmup.min(200_000),
+            measure: self.measure * 4,
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let b = Budget::from_env();
+        assert!(b.measure >= 20_000);
+        assert!(b.warmup >= 1_000);
+    }
+
+    #[test]
+    fn sweep_is_cheaper() {
+        let b = Budget {
+            warmup: 20_000,
+            measure: 120_000,
+        };
+        let s = b.sweep();
+        assert!(s.measure < b.measure);
+        assert!(s.warmup <= b.warmup);
+    }
+
+    #[test]
+    fn test_budget_is_tiny() {
+        assert!(Budget::test().measure <= 10_000);
+    }
+}

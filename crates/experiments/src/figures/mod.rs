@@ -1,0 +1,10 @@
+//! One module per paper table/figure. See the crate docs for the index.
+
+pub mod ablations;
+pub mod capacity;
+pub mod criticality;
+pub mod lifetime;
+pub mod predictor_study;
+pub mod sensitivity;
+pub mod table2;
+pub mod table3;

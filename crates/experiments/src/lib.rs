@@ -1,0 +1,36 @@
+//! Experiment harness reproducing every table and figure of the Re-NUCA
+//! paper's evaluation (§III and §V).
+//!
+//! Each experiment is a pure function from a configuration + instruction
+//! budget to a typed result struct, plus a formatter that prints the same
+//! rows/series the paper plots. The binaries in `src/bin/` and the bench
+//! targets in the `bench` crate are thin wrappers.
+//!
+//! | paper artifact | module | binary |
+//! |---|---|---|
+//! | Table I (config) | `cmp_sim::config` (defaults) | — |
+//! | Table II (app characteristics) | [`figures::table2`] | `table2` |
+//! | Figure 2 (WPKI+MPKI) | [`figures::table2`] | `fig2` |
+//! | Figure 3 (baseline lifetimes) | [`figures::lifetime`] | `fig3` |
+//! | Figure 4b (perf vs lifetime) | [`figures::lifetime`] | `fig4b` |
+//! | Figure 5 (ROB stalls) | [`figures::criticality`] | `fig5` |
+//! | Figures 7–9 (predictor study) | [`figures::predictor_study`] | `fig7`, `fig8`, `fig9` |
+//! | Figure 11 (IPC) | [`figures::lifetime`] | `fig11` |
+//! | Figure 12 (Re-NUCA wearout) | [`figures::lifetime`] | `fig12` |
+//! | Figures 13–18 (sensitivity) | [`figures::sensitivity`] | `fig13` … `fig18` |
+//! | Table III (raw min lifetimes) | [`figures::table3`] | `table3` |
+//!
+//! Instruction budgets scale with the environment variables
+//! `RENUCA_MEASURE` and `RENUCA_WARMUP` (instructions per core); the
+//! defaults keep a full figure regeneration tractable on one CPU while the
+//! statistical workload models stay in their converged steady state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod figures;
+pub mod runner;
+
+pub use budget::Budget;
+pub use runner::{run_single_app, run_workload, SchemeStudy};

@@ -1,0 +1,247 @@
+//! Simulation drivers shared by all experiments.
+
+use cmp_sim::config::SystemConfig;
+use cmp_sim::system::{SimResult, System};
+use rayon::prelude::*;
+use renuca_core::{CptConfig, Scheme};
+use wear_model::{
+    hmean_lifetime_per_bank, lifetime_variation, raw_min_lifetime, LifetimeModel,
+};
+use workloads::{workload_mix, AppModel, AppSpec, WorkloadMix, N_WORKLOADS};
+
+use crate::budget::Budget;
+
+/// Run one multiprogrammed workload under one scheme and configuration.
+pub fn run_workload(
+    wl: &WorkloadMix,
+    scheme: Scheme,
+    cfg: SystemConfig,
+    cpt: CptConfig,
+    budget: Budget,
+) -> SimResult {
+    let policy = scheme.build_policy(&cfg);
+    let predictors = scheme.build_predictors(&cfg, cpt);
+    let sources = wl.build_sources();
+    let mut sys = System::new(cfg, policy, sources, predictors);
+    sys.prewarm();
+    sys.warmup(budget.warmup);
+    sys.run(budget.measure);
+    sys.result()
+}
+
+/// Run one application alone on a single-core machine (2 MB L3 — the
+/// paper's Table II / Figure 2 / Figure 5 setup), under `scheme` with the
+/// given CPT configuration.
+pub fn run_single_app(
+    spec: &AppSpec,
+    scheme: Scheme,
+    cpt: CptConfig,
+    budget: Budget,
+    track_block_criticality: bool,
+) -> SimResult {
+    let mut cfg = SystemConfig::small(1);
+    cfg.track_block_criticality = track_block_criticality;
+    let policy = scheme.build_policy(&cfg);
+    let predictors = scheme.build_predictors(&cfg, cpt);
+    let sources: Vec<Box<dyn cmp_sim::InstrSource>> =
+        vec![Box::new(AppModel::new(*spec, 0x51_000))];
+    let mut sys = System::new(cfg, policy, sources, predictors);
+    sys.prewarm();
+    sys.warmup(budget.warmup);
+    sys.run(budget.measure);
+    sys.result()
+}
+
+/// Run one application alone with a **CPT attached to an S-NUCA machine**:
+/// the configuration of the paper's predictor characterization (Figures
+/// 7–9) — placement is unaffected, but every load is predicted and every
+/// fill/write is attributed to a criticality class.
+pub fn run_single_app_with_cpt(spec: &AppSpec, cpt: CptConfig, budget: Budget) -> SimResult {
+    let mut cfg = SystemConfig::small(1);
+    cfg.track_block_criticality = true;
+    let policy = Scheme::SNuca.build_policy(&cfg);
+    let predictors: Vec<Box<dyn cmp_sim::CriticalityPredictor>> =
+        vec![Box::new(renuca_core::Cpt::new(cpt))];
+    let sources: Vec<Box<dyn cmp_sim::InstrSource>> =
+        vec![Box::new(AppModel::new(*spec, 0x51_000))];
+    let mut sys = System::new(cfg, policy, sources, predictors);
+    sys.prewarm();
+    sys.warmup(budget.warmup);
+    sys.run(budget.measure);
+    sys.result()
+}
+
+/// Aggregated results of one scheme over all ten workloads.
+#[derive(Clone, Debug)]
+pub struct SchemeStudy {
+    /// The scheme.
+    pub scheme: Scheme,
+    /// `[workload][bank]` lifetimes in years.
+    pub per_wl_bank_lifetimes: Vec<Vec<f64>>,
+    /// Total IPC (throughput) per workload.
+    pub per_wl_ipc: Vec<f64>,
+    /// Per-bank harmonic-mean lifetime across workloads (Figures 3/12…).
+    pub hmean_per_bank: Vec<f64>,
+    /// Raw minimum lifetime over all banks and workloads (Table III).
+    pub raw_min: f64,
+    /// Coefficient of variation of the per-bank harmonic lifetimes.
+    pub variation: f64,
+}
+
+impl SchemeStudy {
+    /// Serialize to a compact JSON document (hand-rolled writer: the study
+    /// is small and flat, and the workspace deliberately avoids pulling in
+    /// serde_json for one call site).
+    pub fn to_json(&self) -> String {
+        fn f64s(xs: &[f64]) -> String {
+            let items: Vec<String> = xs.iter().map(|x| format!("{x:.6}")).collect();
+            format!("[{}]", items.join(","))
+        }
+        let per_wl: Vec<String> = self.per_wl_bank_lifetimes.iter().map(|w| f64s(w)).collect();
+        format!(
+            "{{\"scheme\":\"{}\",\"raw_min\":{:.6},\"variation\":{:.6},\"per_wl_ipc\":{},\"hmean_per_bank\":{},\"per_wl_bank_lifetimes\":[{}]}}",
+            self.scheme.name(),
+            self.raw_min,
+            self.variation,
+            f64s(&self.per_wl_ipc),
+            f64s(&self.hmean_per_bank),
+            per_wl.join(",")
+        )
+    }
+
+    /// Mean of per-workload total IPC.
+    pub fn mean_ipc(&self) -> f64 {
+        sim_stats::amean(&self.per_wl_ipc)
+    }
+
+    /// Harmonic mean over banks of the harmonic-mean lifetimes (one scalar
+    /// per scheme, the y-coordinate of Figure 4b).
+    pub fn hmean_lifetime(&self) -> f64 {
+        sim_stats::hmean(&self.hmean_per_bank)
+    }
+}
+
+/// Run `scheme` over workloads WL1..WL10 under `cfg` and aggregate.
+pub fn scheme_study(
+    scheme: Scheme,
+    cfg: SystemConfig,
+    cpt: CptConfig,
+    budget: Budget,
+    lifetime: &LifetimeModel,
+) -> SchemeStudy {
+    let results: Vec<SimResult> = (1..=N_WORKLOADS)
+        .into_par_iter()
+        .map(|id| {
+            let wl = workload_mix(id, cfg.n_cores);
+            run_workload(&wl, scheme, cfg, cpt, budget)
+        })
+        .collect();
+    aggregate_study(scheme, &results, lifetime)
+}
+
+/// Aggregate raw per-workload results into a [`SchemeStudy`].
+pub fn aggregate_study(
+    scheme: Scheme,
+    results: &[SimResult],
+    lifetime: &LifetimeModel,
+) -> SchemeStudy {
+    let per_wl_bank_lifetimes: Vec<Vec<f64>> = results
+        .iter()
+        .map(|r| lifetime.all_bank_lifetimes(&r.wear, r.cycles))
+        .collect();
+    let per_wl_ipc: Vec<f64> = results.iter().map(|r| r.total_ipc()).collect();
+    let hmean_per_bank = hmean_lifetime_per_bank(&per_wl_bank_lifetimes);
+    let raw_min = raw_min_lifetime(&per_wl_bank_lifetimes);
+    let variation = lifetime_variation(&hmean_per_bank);
+    SchemeStudy {
+        scheme,
+        per_wl_bank_lifetimes,
+        per_wl_ipc,
+        hmean_per_bank,
+        raw_min,
+        variation,
+    }
+}
+
+/// Run several schemes over all workloads (the main evaluation loop).
+pub fn all_scheme_studies(
+    schemes: &[Scheme],
+    cfg: SystemConfig,
+    cpt: CptConfig,
+    budget: Budget,
+    lifetime: &LifetimeModel,
+) -> Vec<SchemeStudy> {
+    schemes
+        .iter()
+        .map(|&s| scheme_study(s, cfg, cpt, budget, lifetime))
+        .collect()
+}
+
+/// The default lifetime model at `cfg`'s clock (paper endurance, uniform
+/// intra-bank wear).
+pub fn lifetime_model(cfg: &SystemConfig) -> LifetimeModel {
+    LifetimeModel {
+        freq_hz: cfg.freq_hz,
+        ..LifetimeModel::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_app_run_produces_metrics() {
+        let spec = workloads::app_by_name("lbm").unwrap();
+        let r = run_single_app(spec, Scheme::SNuca, CptConfig::default(), Budget::test(), false);
+        assert_eq!(r.per_core.len(), 1);
+        assert!(r.per_core[0].mpki > 1.0, "lbm must miss: {}", r.per_core[0].mpki);
+        assert!(r.per_core[0].ipc > 0.0);
+    }
+
+    #[test]
+    fn workload_run_spreads_writes_under_snuca() {
+        let cfg = SystemConfig::small(4);
+        let wl = workload_mix(1, 4);
+        let r = run_workload(&wl, Scheme::SNuca, cfg, CptConfig::default(), Budget::test());
+        let total: u64 = r.bank_writes.iter().sum();
+        assert!(total > 0);
+        // No bank should take more than half the writes under S-NUCA.
+        for &w in &r.bank_writes {
+            assert!(w * 2 <= total + total / 2, "bank writes {:?}", r.bank_writes);
+        }
+    }
+
+    #[test]
+    fn study_json_roundtrips_structure() {
+        let cfg = SystemConfig::small(4);
+        let model = lifetime_model(&cfg);
+        let wl = workload_mix(1, 4);
+        let r = run_workload(&wl, Scheme::SNuca, cfg, CptConfig::default(), Budget::test());
+        let study = aggregate_study(Scheme::SNuca, &[r], &model);
+        let json = study.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"scheme\":\"S-NUCA\""));
+        assert!(json.contains("\"raw_min\":"));
+        // Balanced brackets (cheap well-formedness check).
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn study_aggregation_shapes() {
+        let cfg = SystemConfig::small(4);
+        let model = lifetime_model(&cfg);
+        let results: Vec<SimResult> = (1..=2)
+            .map(|id| {
+                let wl = workload_mix(id, 4);
+                run_workload(&wl, Scheme::Private, cfg, CptConfig::default(), Budget::test())
+            })
+            .collect();
+        let study = aggregate_study(Scheme::Private, &results, &model);
+        assert_eq!(study.per_wl_bank_lifetimes.len(), 2);
+        assert_eq!(study.hmean_per_bank.len(), 4);
+        assert!(study.raw_min > 0.0);
+        assert!(study.mean_ipc() > 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Concurrency stress: independent simulations are thread-safe and
+//! deterministic when run in parallel (the experiment runner fans a
+//! (scheme × workload) matrix across threads; nothing may leak between
+//! systems).
+
+use crossbeam::thread;
+use experiments::{run_workload, Budget};
+use renuca_core::{CptConfig, Scheme};
+use workloads::workload_mix;
+
+#[test]
+fn parallel_runs_match_serial_runs() {
+    let cfg = cmp_sim::SystemConfig::small(4);
+    let budget = Budget::test();
+    let cases: Vec<(Scheme, usize)> = Scheme::ALL
+        .iter()
+        .flat_map(|&s| [(s, 1usize), (s, 2)])
+        .collect();
+
+    // Serial reference.
+    let serial: Vec<Vec<u64>> = cases
+        .iter()
+        .map(|&(s, wl)| {
+            run_workload(&workload_mix(wl, 4), s, cfg, CptConfig::default(), budget).bank_writes
+        })
+        .collect();
+
+    // The same matrix, all cells at once on scoped threads.
+    let parallel: Vec<Vec<u64>> = thread::scope(|scope| {
+        let handles: Vec<_> = cases
+            .iter()
+            .map(|&(s, wl)| {
+                scope.spawn(move |_| {
+                    run_workload(&workload_mix(wl, 4), s, cfg, CptConfig::default(), budget)
+                        .bank_writes
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+
+    for (i, (s, wl)) in cases.iter().enumerate() {
+        assert_eq!(
+            serial[i], parallel[i],
+            "{}/WL{wl}: parallel execution changed the result",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    // Run the same cell on several threads simultaneously; all must agree.
+    let cfg = cmp_sim::SystemConfig::small(4);
+    let budget = Budget::test();
+    let results: Vec<u64> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move |_| {
+                    run_workload(
+                        &workload_mix(3, 4),
+                        Scheme::ReNuca,
+                        cfg,
+                        CptConfig::default(),
+                        budget,
+                    )
+                    .wear
+                    .total_writes()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+    for w in &results[1..] {
+        assert_eq!(*w, results[0]);
+    }
+}

@@ -1,0 +1,364 @@
+//! The Criticality Predictor Table (CPT) — paper §IV.B.
+//!
+//! One CPT per core. It is a PC-indexed table adapted from the Commit Block
+//! Predictor of Ghose et al. (ISCA'13), simplified to two counters per
+//! entry:
+//!
+//! * `numLoadsCount` — dynamic loads issued by this PC so far,
+//! * `robBlockCount` — how many of those blocked the head of the ROB.
+//!
+//! A load is predicted **critical** when
+//! `robBlockCount ≥ x% × numLoadsCount`, where `x` is the *criticality
+//! threshold* (the paper evaluates x ∈ {3,5,10,20,25,33,50,75,100}% and
+//! settles on **3%** — Figure 7 shows accuracy falls from ~83% at 3% to
+//! ~14.5% at 100%).
+//!
+//! Lifecycle (paper Figure 6): on load *issue* the table is probed — a hit
+//! bumps `numLoadsCount` and yields the prediction; a first-time PC is
+//! predicted non-critical (prioritizing lifetime, §IV). When a load blocks
+//! the ROB head, `robBlockCount` of its PC is bumped (once per dynamic
+//! load). New entries are inserted at *commit* with counts (1, 0|1).
+
+use cmp_sim::placement::{CriticalityPredictor, PredictorStats};
+use cmp_sim::types::Pc;
+
+/// CPT configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CptConfig {
+    /// Number of table entries (direct-mapped, PC-tagged). The paper does
+    /// not size the table; 1024 entries comfortably holds the load PCs of a
+    /// SPEC-like loop nest. Must be a power of two.
+    pub entries: usize,
+    /// The criticality threshold `x` in percent (paper default: 3.0).
+    pub threshold_pct: f64,
+    /// Counter value at which both counters are halved (aging, so stale
+    /// phases do not pin a PC's classification forever).
+    pub aging_cap: u32,
+}
+
+impl Default for CptConfig {
+    fn default() -> Self {
+        CptConfig {
+            entries: 1024,
+            threshold_pct: 3.0,
+            aging_cap: 1 << 20,
+        }
+    }
+}
+
+impl CptConfig {
+    /// The paper's threshold sweep for Figures 7–9.
+    pub const THRESHOLD_SWEEP: [f64; 9] =
+        [3.0, 5.0, 10.0, 20.0, 25.0, 33.0, 50.0, 75.0, 100.0];
+
+    /// A config with a specific threshold and default sizing.
+    pub fn with_threshold(threshold_pct: f64) -> Self {
+        CptConfig {
+            threshold_pct,
+            ..CptConfig::default()
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct CptEntry {
+    pc: Pc,
+    valid: bool,
+    num_loads: u32,
+    rob_blocks: u32,
+}
+
+impl CptEntry {
+    #[inline]
+    fn is_critical(&self, threshold_pct: f64) -> bool {
+        // robBlockCount >= x% of numLoadsCount.
+        self.rob_blocks as f64 * 100.0 >= threshold_pct * self.num_loads as f64
+    }
+}
+
+/// CPT event counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CptStats {
+    /// Issue-time probes that found their PC.
+    pub hits: u64,
+    /// Issue-time probes that missed (first-touch PCs or conflicts).
+    pub misses: u64,
+    /// Entries inserted (at commit).
+    pub insertions: u64,
+    /// Entries displaced by a conflicting PC.
+    pub replacements: u64,
+}
+
+/// One core's Criticality Predictor Table.
+#[derive(Clone, Debug)]
+pub struct Cpt {
+    cfg: CptConfig,
+    table: Vec<CptEntry>,
+    mask: usize,
+    /// Event counters.
+    pub cpt_stats: CptStats,
+    predicted_critical: u64,
+    predicted_noncritical: u64,
+}
+
+impl Cpt {
+    /// Build a CPT.
+    ///
+    /// # Panics
+    /// Panics unless `entries` is a power of two and the threshold is in
+    /// (0, 100].
+    pub fn new(cfg: CptConfig) -> Self {
+        assert!(cfg.entries.is_power_of_two(), "CPT entries must be pow2");
+        assert!(
+            cfg.threshold_pct > 0.0 && cfg.threshold_pct <= 100.0,
+            "threshold must be in (0, 100], got {}",
+            cfg.threshold_pct
+        );
+        Cpt {
+            table: vec![CptEntry::default(); cfg.entries],
+            mask: cfg.entries - 1,
+            cfg,
+            cpt_stats: CptStats::default(),
+            predicted_critical: 0,
+            predicted_noncritical: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CptConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn index(&self, pc: Pc) -> usize {
+        // Cheap multiplicative hash: load PCs are word-aligned, so the low
+        // bits alone would collide structurally.
+        (pc.wrapping_mul(0x9E37_79B9) >> 16) as usize & self.mask
+    }
+
+    #[inline]
+    fn age(e: &mut CptEntry, cap: u32) {
+        if e.num_loads >= cap {
+            e.num_loads >>= 1;
+            e.rob_blocks >>= 1;
+        }
+    }
+
+    /// Read-only criticality classification of a PC (diagnostics; does not
+    /// count as an issue).
+    pub fn classify(&self, pc: Pc) -> Option<bool> {
+        let e = &self.table[self.index(pc)];
+        (e.valid && e.pc == pc).then(|| e.is_critical(self.cfg.threshold_pct))
+    }
+}
+
+impl CriticalityPredictor for Cpt {
+    fn predict(&mut self, pc: Pc) -> bool {
+        let threshold = self.cfg.threshold_pct;
+        let cap = self.cfg.aging_cap;
+        let idx = self.index(pc);
+        let e = &mut self.table[idx];
+        let critical = if e.valid && e.pc == pc {
+            self.cpt_stats.hits += 1;
+            // Classify against the *past* history (x% of the loads issued
+            // so far blocked), then count this issue.
+            let verdict = e.is_critical(threshold);
+            e.num_loads = e.num_loads.saturating_add(1);
+            Self::age(e, cap);
+            verdict
+        } else {
+            // First touch (or conflict): assume non-critical, prioritizing
+            // lifetime over performance (paper §IV).
+            self.cpt_stats.misses += 1;
+            false
+        };
+        if critical {
+            self.predicted_critical += 1;
+        } else {
+            self.predicted_noncritical += 1;
+        }
+        critical
+    }
+
+    fn on_rob_block(&mut self, pc: Pc) {
+        let idx = self.index(pc);
+        let e = &mut self.table[idx];
+        if e.valid && e.pc == pc {
+            e.rob_blocks = e.rob_blocks.saturating_add(1);
+        }
+        // A block for a PC not yet in the table is folded into the entry
+        // inserted at commit (`on_load_commit` receives `blocked`).
+    }
+
+    fn on_load_commit(&mut self, pc: Pc, blocked: bool) {
+        let idx = self.index(pc);
+        let e = &mut self.table[idx];
+        if e.valid && e.pc == pc {
+            return; // counters already maintained at issue/block time
+        }
+        if e.valid {
+            self.cpt_stats.replacements += 1;
+        }
+        self.cpt_stats.insertions += 1;
+        *e = CptEntry {
+            pc,
+            valid: true,
+            num_loads: 1,
+            rob_blocks: blocked as u32,
+        };
+    }
+
+    fn stats(&self) -> PredictorStats {
+        PredictorStats {
+            predicted_critical: self.predicted_critical,
+            predicted_noncritical: self.predicted_noncritical,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpt(threshold: f64) -> Cpt {
+        Cpt::new(CptConfig::with_threshold(threshold))
+    }
+
+    /// Simulate `n` issue+commit rounds of one PC, `blocked_every` of which
+    /// block the ROB head.
+    fn train(c: &mut Cpt, pc: Pc, n: u32, block_every: u32) {
+        for i in 0..n {
+            c.predict(pc);
+            let blocked = block_every > 0 && i % block_every == 0;
+            if blocked {
+                c.on_rob_block(pc);
+            }
+            c.on_load_commit(pc, blocked);
+        }
+    }
+
+    #[test]
+    fn first_touch_is_noncritical() {
+        let mut c = cpt(3.0);
+        assert!(!c.predict(100), "unknown PCs default to non-critical");
+        assert_eq!(c.cpt_stats.misses, 1);
+    }
+
+    #[test]
+    fn always_blocking_pc_becomes_critical() {
+        let mut c = cpt(3.0);
+        train(&mut c, 7, 10, 1); // blocks every time
+        assert!(c.predict(7), "a 100%-blocking PC must be critical at x=3%");
+    }
+
+    #[test]
+    fn never_blocking_pc_stays_noncritical() {
+        let mut c = cpt(3.0);
+        train(&mut c, 7, 100, 0);
+        assert!(!c.predict(7));
+        assert_eq!(c.classify(7), Some(false));
+    }
+
+    #[test]
+    fn threshold_3pct_catches_rare_blockers() {
+        // Blocks 1 in 20 times (5%) — critical at x=3, not at x=10.
+        let mut c3 = cpt(3.0);
+        train(&mut c3, 7, 100, 20);
+        assert!(c3.predict(7), "5% blocker must be critical at x=3%");
+
+        let mut c10 = cpt(10.0);
+        train(&mut c10, 7, 100, 20);
+        assert!(!c10.predict(7), "5% blocker must be non-critical at x=10%");
+    }
+
+    #[test]
+    fn threshold_100pct_requires_every_load_to_block() {
+        let mut c = cpt(100.0);
+        train(&mut c, 7, 50, 1);
+        assert!(c.predict(7));
+        // One non-blocking instance breaks the 100% condition. Note the
+        // predict() call itself bumps numLoads first.
+        c.predict(7);
+        c.on_load_commit(7, false);
+        assert!(!c.predict(7));
+    }
+
+    #[test]
+    fn lower_threshold_never_less_aggressive() {
+        // For the same history, the set of PCs predicted critical at x=3%
+        // must be a superset of those at x=50%.
+        for block_every in [0u32, 1, 2, 5, 10, 40] {
+            let mut lo = cpt(3.0);
+            let mut hi = cpt(50.0);
+            train(&mut lo, 9, 80, block_every);
+            train(&mut hi, 9, 80, block_every);
+            let lo_crit = lo.predict(9);
+            let hi_crit = hi.predict(9);
+            assert!(
+                lo_crit || !hi_crit,
+                "x=50 critical but x=3 not, block_every={block_every}"
+            );
+        }
+    }
+
+    #[test]
+    fn insertion_happens_at_commit() {
+        let mut c = cpt(3.0);
+        c.predict(42); // miss — not inserted yet
+        assert_eq!(c.classify(42), None);
+        c.on_load_commit(42, true);
+        assert_eq!(c.classify(42), Some(true));
+        assert_eq!(c.cpt_stats.insertions, 1);
+    }
+
+    #[test]
+    fn conflicting_pc_replaces_at_commit() {
+        let mut c = Cpt::new(CptConfig {
+            entries: 1,
+            ..CptConfig::default()
+        });
+        c.on_load_commit(1, false);
+        c.on_load_commit(2, true); // same slot
+        assert_eq!(c.classify(1), None);
+        assert_eq!(c.classify(2), Some(true));
+        assert_eq!(c.cpt_stats.replacements, 1);
+    }
+
+    #[test]
+    fn aging_halves_counters() {
+        let mut c = Cpt::new(CptConfig {
+            aging_cap: 8,
+            ..CptConfig::default()
+        });
+        train(&mut c, 5, 20, 1);
+        // Counters must have been halved at least once and stay consistent.
+        let e = &c.table[c.index(5)];
+        assert!(e.num_loads < 20);
+        assert!(e.rob_blocks <= e.num_loads);
+    }
+
+    #[test]
+    fn stats_track_prediction_mix() {
+        let mut c = cpt(3.0);
+        train(&mut c, 1, 10, 1); // critical PC
+        train(&mut c, 2, 10, 0); // non-critical PC
+        let s = CriticalityPredictor::stats(&c);
+        assert!(s.predicted_critical >= 9, "{s:?}");
+        assert!(s.predicted_noncritical >= 10, "{s:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pow2")]
+    fn non_pow2_entries_rejected() {
+        Cpt::new(CptConfig {
+            entries: 1000,
+            ..CptConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_rejected() {
+        Cpt::new(CptConfig::with_threshold(0.0));
+    }
+}

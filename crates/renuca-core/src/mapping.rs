@@ -1,0 +1,736 @@
+//! The five evaluated L3 placement policies.
+//!
+//! All policies implement [`cmp_sim::placement::LlcPlacement`]. Bank ids
+//! coincide with mesh tile ids (one bank per core tile, paper Table I).
+
+use std::collections::HashMap;
+
+use cmp_sim::placement::{AccessMeta, LlcPlacement};
+use cmp_sim::types::{line_index_in_page, owner_of_line, BankId, CoreId, Cycle};
+
+use crate::tlb::EnhancedTlb;
+
+/// The owning core of a line, clamped into the machine (test traces may use
+/// raw low addresses whose owner bits decode past `n_cores`).
+#[inline]
+fn owner(line: u64, n_cores: usize) -> CoreId {
+    owner_of_line(line) & (n_cores - 1)
+}
+
+// ---------------------------------------------------------------------------
+// S-NUCA
+// ---------------------------------------------------------------------------
+
+/// Static NUCA: the bank is selected by the low bits of the line address
+/// (paper §II.B). Every core's lines stripe across all banks, so writes are
+/// spread evenly — the wear-leveling baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct SNuca {
+    mask: u64,
+}
+
+impl SNuca {
+    /// S-NUCA over `n_banks` banks (must be a power of two).
+    pub fn new(n_banks: usize) -> Self {
+        assert!(n_banks.is_power_of_two(), "bank masking needs pow2");
+        SNuca {
+            mask: n_banks as u64 - 1,
+        }
+    }
+
+    /// The bank a line maps to.
+    #[inline]
+    pub fn bank_of(&self, line: u64) -> BankId {
+        (line & self.mask) as BankId
+    }
+}
+
+impl LlcPlacement for SNuca {
+    fn name(&self) -> &'static str {
+        "S-NUCA"
+    }
+    fn lookup_bank(&mut self, meta: &AccessMeta) -> BankId {
+        self.bank_of(meta.line)
+    }
+    fn fill_bank(&mut self, meta: &AccessMeta) -> BankId {
+        self.bank_of(meta.line)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R-NUCA
+// ---------------------------------------------------------------------------
+
+/// Reactive NUCA (Hardavellas et al., ISCA'09; paper §II.B): each core's
+/// blocks live in a fixed-size **cluster** of banks at most one window away
+/// from the core's tile, selected by rotational interleaving:
+///
+/// ```text
+/// DestinationBank = cluster[(Addr + RID + 1) & (n − 1)],   n = 4
+/// ```
+///
+/// Clusters are the 2×2 tile windows containing the core (clamped at mesh
+/// edges), so interior windows overlap and neighbouring cores share banks —
+/// private data stays close, but write pressure concentrates in each
+/// window, which is exactly the wear problem Re-NUCA attacks.
+#[derive(Clone, Debug)]
+pub struct RNuca {
+    cols: usize,
+    rows: usize,
+    n_cores: usize,
+    /// Precomputed cluster bank list per core.
+    clusters: Vec<Vec<BankId>>,
+    /// Rotational ID per core.
+    rids: Vec<u64>,
+}
+
+impl RNuca {
+    /// R-NUCA on a `cols × rows` mesh (one core + one bank per tile).
+    pub fn new(cols: usize, rows: usize) -> Self {
+        let n_cores = cols * rows;
+        let mut clusters = Vec::with_capacity(n_cores);
+        let mut rids = Vec::with_capacity(n_cores);
+        for core in 0..n_cores {
+            let x = core % cols;
+            let y = core / cols;
+            // 2x2 window clamped inside the mesh (degenerates gracefully on
+            // 1-wide meshes).
+            let wx = x.min(cols.saturating_sub(2));
+            let wy = y.min(rows.saturating_sub(2));
+            let xs = if cols >= 2 { vec![wx, wx + 1] } else { vec![0] };
+            let ys = if rows >= 2 { vec![wy, wy + 1] } else { vec![0] };
+            let mut cluster = Vec::with_capacity(xs.len() * ys.len());
+            for &cy in &ys {
+                for &cx in &xs {
+                    cluster.push(cy * cols + cx);
+                }
+            }
+            // Rotational ID: the core's position within its window.
+            let rid = ((x - wx) + 2 * (y - wy)) as u64;
+            clusters.push(cluster);
+            rids.push(rid);
+        }
+        RNuca {
+            cols,
+            rows,
+            n_cores,
+            clusters,
+            rids,
+        }
+    }
+
+    /// The cluster banks of a core.
+    pub fn cluster(&self, core: CoreId) -> &[BankId] {
+        &self.clusters[core]
+    }
+
+    /// The bank a (core, line) pair maps to.
+    #[inline]
+    pub fn bank_of(&self, core: CoreId, line: u64) -> BankId {
+        let cluster = &self.clusters[core];
+        let n = cluster.len() as u64;
+        debug_assert!(n.is_power_of_two());
+        let idx = (line + self.rids[core] + 1) & (n - 1);
+        cluster[idx as usize]
+    }
+
+    /// Mesh geometry.
+    pub fn geometry(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+}
+
+impl LlcPlacement for RNuca {
+    fn name(&self) -> &'static str {
+        "R-NUCA"
+    }
+    fn lookup_bank(&mut self, meta: &AccessMeta) -> BankId {
+        self.bank_of(owner(meta.line, self.n_cores), meta.line)
+    }
+    fn fill_bank(&mut self, meta: &AccessMeta) -> BankId {
+        self.bank_of(owner(meta.line, self.n_cores), meta.line)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Private
+// ---------------------------------------------------------------------------
+
+/// Private L3: each core uses exactly its local bank (paper §III). Best
+/// latency (zero hops), worst wear variation — a write-heavy program grinds
+/// down its own bank alone.
+#[derive(Clone, Copy, Debug)]
+pub struct PrivateMap {
+    n_cores: usize,
+}
+
+impl PrivateMap {
+    /// Private banks for `n_cores` cores.
+    pub fn new(n_cores: usize) -> Self {
+        assert!(n_cores.is_power_of_two());
+        PrivateMap { n_cores }
+    }
+}
+
+impl LlcPlacement for PrivateMap {
+    fn name(&self) -> &'static str {
+        "Private"
+    }
+    fn lookup_bank(&mut self, meta: &AccessMeta) -> BankId {
+        owner(meta.line, self.n_cores)
+    }
+    fn fill_bank(&mut self, meta: &AccessMeta) -> BankId {
+        owner(meta.line, self.n_cores)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Naive (perfect wear-leveling oracle)
+// ---------------------------------------------------------------------------
+
+/// The paper's §III.A "Naive" scheme: every fill goes to the bank with the
+/// fewest writes so far, yielding perfect wear-leveling (0% variation) —
+/// and requiring a global directory to find lines again, whose lookup
+/// latency (plus the lost locality) costs ~21% performance vs S-NUCA. The
+/// paper uses it as an upper bound on leveling, not as a practical design.
+#[derive(Clone, Debug)]
+pub struct NaiveOracle {
+    writes: Vec<u64>,
+    directory: HashMap<u64, BankId>,
+    dir_latency: Cycle,
+    fallback: SNuca,
+}
+
+impl NaiveOracle {
+    /// A Naive oracle over `n_banks` banks charging `dir_latency` cycles of
+    /// directory indirection per LLC lookup.
+    pub fn new(n_banks: usize, dir_latency: Cycle) -> Self {
+        NaiveOracle {
+            writes: vec![0; n_banks],
+            directory: HashMap::new(),
+            dir_latency,
+            fallback: SNuca::new(n_banks),
+        }
+    }
+
+    /// Number of lines currently tracked by the directory.
+    pub fn directory_len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Per-bank write counters (oracle state).
+    pub fn write_counters(&self) -> &[u64] {
+        &self.writes
+    }
+
+    fn min_write_bank(&self) -> BankId {
+        let mut best = 0;
+        let mut best_w = self.writes[0];
+        for (b, &w) in self.writes.iter().enumerate().skip(1) {
+            if w < best_w {
+                best = b;
+                best_w = w;
+            }
+        }
+        best
+    }
+}
+
+impl LlcPlacement for NaiveOracle {
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+    fn lookup_bank(&mut self, meta: &AccessMeta) -> BankId {
+        // Directory hit: the line's actual bank. Miss: the line is not
+        // resident; probe the S-NUCA home (the miss will be detected there
+        // and `fill_bank` decides the real placement).
+        self.directory
+            .get(&meta.line)
+            .copied()
+            .unwrap_or_else(|| self.fallback.bank_of(meta.line))
+    }
+    fn fill_bank(&mut self, _meta: &AccessMeta) -> BankId {
+        self.min_write_bank()
+    }
+    fn on_fill(&mut self, meta: &AccessMeta, bank: BankId) {
+        self.directory.insert(meta.line, bank);
+    }
+    fn on_l3_write(&mut self, bank: BankId) {
+        self.writes[bank] += 1;
+    }
+    fn on_evict(&mut self, line: u64, bank: BankId) {
+        let removed = self.directory.remove(&line);
+        debug_assert_eq!(removed, Some(bank), "directory out of sync");
+    }
+    fn lookup_overhead(&self) -> Cycle {
+        self.dir_latency
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Re-NUCA
+// ---------------------------------------------------------------------------
+
+/// Re-NUCA placement statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReNucaStats {
+    /// Fills placed with the R-NUCA mapping (critical blocks).
+    pub critical_fills: u64,
+    /// Fills placed with the S-NUCA mapping (non-critical blocks).
+    pub noncritical_fills: u64,
+    /// Lookups routed by an MBV bit of 1 (R-NUCA side).
+    pub lookups_rnuca: u64,
+    /// Lookups routed by an MBV bit of 0 (S-NUCA side).
+    pub lookups_snuca: u64,
+}
+
+/// **Re-NUCA** (paper §IV): the hybrid mapping.
+///
+/// * **Fill**: a block fetched by a load the CPT predicted *critical* is
+///   placed with the R-NUCA mapping (close to its core); anything else —
+///   non-critical loads, store allocations, first-touch PCs — is placed
+///   with S-NUCA (spread over all banks). *"When a cache line is brought to
+///   the cache for the first time, we assume a cache line is not critical"*.
+/// * **Lookup**: the per-page Mapping Bit Vector in the enhanced TLB
+///   remembers which mapping each resident line used, so an L2 miss goes
+///   straight to the right bank with no directory.
+/// * **Evict**: the line's MBV bit is reset to 0.
+///
+/// A line's mapping never changes while it is resident (no migration).
+pub struct ReNuca {
+    snuca: SNuca,
+    rnuca: RNuca,
+    n_cores: usize,
+    /// Per-core enhanced TLBs holding the Mapping Bit Vectors.
+    tlbs: Vec<EnhancedTlb>,
+    /// Placement statistics.
+    pub renuca_stats: ReNucaStats,
+}
+
+impl ReNuca {
+    /// Build Re-NUCA for a `cols × rows` mesh with the paper's enhanced-TLB
+    /// geometry (64 entries, 8-way).
+    pub fn new(cols: usize, rows: usize) -> Self {
+        Self::with_tlb_geometry(cols, rows, 64, 8)
+    }
+
+    /// Build with a custom enhanced-TLB geometry (ablations).
+    pub fn with_tlb_geometry(
+        cols: usize,
+        rows: usize,
+        tlb_entries: usize,
+        tlb_assoc: usize,
+    ) -> Self {
+        let n_cores = cols * rows;
+        ReNuca {
+            snuca: SNuca::new(n_cores),
+            rnuca: RNuca::new(cols, rows),
+            n_cores,
+            tlbs: (0..n_cores)
+                .map(|_| EnhancedTlb::new(tlb_entries, tlb_assoc))
+                .collect(),
+            renuca_stats: ReNucaStats::default(),
+        }
+    }
+
+    /// The enhanced TLB of one core (inspection).
+    pub fn tlb(&self, core: CoreId) -> &EnhancedTlb {
+        &self.tlbs[core]
+    }
+
+    /// Decode the core and MBV bit position of a line.
+    #[inline]
+    fn locate(&self, line: u64) -> (CoreId, u64, u32) {
+        let core = owner(line, self.n_cores);
+        let page = cmp_sim::types::page_of_line(line);
+        let bit = line_index_in_page(line) as u32;
+        (core, page, bit)
+    }
+}
+
+impl LlcPlacement for ReNuca {
+    fn name(&self) -> &'static str {
+        "Re-NUCA"
+    }
+
+    fn lookup_bank(&mut self, meta: &AccessMeta) -> BankId {
+        let (core, page, bit) = self.locate(meta.line);
+        if self.tlbs[core].mbv_bit(page, bit) {
+            self.renuca_stats.lookups_rnuca += 1;
+            self.rnuca.bank_of(core, meta.line)
+        } else {
+            self.renuca_stats.lookups_snuca += 1;
+            self.snuca.bank_of(meta.line)
+        }
+    }
+
+    fn fill_bank(&mut self, meta: &AccessMeta) -> BankId {
+        let (core, _, _) = self.locate(meta.line);
+        if meta.predicted_critical {
+            self.rnuca.bank_of(core, meta.line)
+        } else {
+            self.snuca.bank_of(meta.line)
+        }
+    }
+
+    fn on_fill(&mut self, meta: &AccessMeta, _bank: BankId) {
+        let (core, page, bit) = self.locate(meta.line);
+        if meta.predicted_critical {
+            self.renuca_stats.critical_fills += 1;
+        } else {
+            self.renuca_stats.noncritical_fills += 1;
+        }
+        self.tlbs[core].set_mbv_bit(page, bit, meta.predicted_critical);
+    }
+
+    fn on_evict(&mut self, line: u64, _bank: BankId) {
+        let (core, page, bit) = self.locate(line);
+        self.tlbs[core].set_mbv_bit(page, bit, false);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Re-NUCA without the enhanced TLB (two-probe ablation)
+// ---------------------------------------------------------------------------
+
+/// The MBV-less Re-NUCA ablation: same criticality-gated *fill* policy, but
+/// no Mapping Bit Vector — on lookup the controller probes the S-NUCA home
+/// first and, on a miss there, forwards a second serialized probe to the
+/// R-NUCA candidate. This is the design the paper's §IV.C enhanced TLB
+/// exists to avoid: the two-probe search costs an extra bank access plus a
+/// mesh hop on every lookup of an R-NUCA-resident line (and on every true
+/// miss), quantifying the MBV's value.
+pub struct ReNucaTwoProbe {
+    snuca: SNuca,
+    rnuca: RNuca,
+    n_cores: usize,
+}
+
+impl ReNucaTwoProbe {
+    /// Build for a `cols × rows` mesh.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        ReNucaTwoProbe {
+            snuca: SNuca::new(cols * rows),
+            rnuca: RNuca::new(cols, rows),
+            n_cores: cols * rows,
+        }
+    }
+}
+
+impl LlcPlacement for ReNucaTwoProbe {
+    fn name(&self) -> &'static str {
+        "Re-NUCA-2probe"
+    }
+    fn lookup_bank(&mut self, meta: &AccessMeta) -> BankId {
+        // Probe the S-NUCA home first (the common, non-critical case).
+        self.snuca.bank_of(meta.line)
+    }
+    fn secondary_bank(&mut self, meta: &AccessMeta) -> Option<BankId> {
+        let core = owner(meta.line, self.n_cores);
+        Some(self.rnuca.bank_of(core, meta.line))
+    }
+    fn fill_bank(&mut self, meta: &AccessMeta) -> BankId {
+        let core = owner(meta.line, self.n_cores);
+        if meta.predicted_critical {
+            self.rnuca.bank_of(core, meta.line)
+        } else {
+            self.snuca.bank_of(meta.line)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_sim::placement::LlcAccessKind;
+    use cmp_sim::types::phys_addr;
+
+    fn meta(line: u64, critical: bool) -> AccessMeta {
+        AccessMeta {
+            core: owner(line, 16),
+            line,
+            page: cmp_sim::types::page_of_line(line),
+            pc: 1,
+            kind: LlcAccessKind::Demand,
+            predicted_critical: critical,
+        }
+    }
+
+    // --- S-NUCA ---
+
+    #[test]
+    fn snuca_stripes_by_low_bits() {
+        let mut s = SNuca::new(16);
+        for line in 0..64u64 {
+            assert_eq!(s.lookup_bank(&meta(line, false)), (line & 15) as usize);
+        }
+    }
+
+    #[test]
+    fn snuca_lookup_equals_fill() {
+        let mut s = SNuca::new(16);
+        for line in [0u64, 17, 12345, 1 << 30] {
+            let m = meta(line, true);
+            assert_eq!(s.lookup_bank(&m), s.fill_bank(&m));
+        }
+    }
+
+    // --- R-NUCA ---
+
+    #[test]
+    fn rnuca_cluster_is_one_window() {
+        let r = RNuca::new(4, 4);
+        // Core 5 = tile (1,1): window (1,1)..(2,2) -> banks 5,6,9,10.
+        assert_eq!(r.cluster(5), &[5, 6, 9, 10]);
+        // Corner core 15 = (3,3): clamped window (2,2) -> banks 10,11,14,15.
+        assert_eq!(r.cluster(15), &[10, 11, 14, 15]);
+        // Corner core 0: window (0,0) -> banks 0,1,4,5.
+        assert_eq!(r.cluster(0), &[0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn rnuca_cluster_banks_are_near_the_core() {
+        let r = RNuca::new(4, 4);
+        for core in 0..16 {
+            let (cx, cy) = (core % 4, core / 4);
+            for &b in r.cluster(core) {
+                let (bx, by) = (b % 4, b / 4);
+                let dist = cx.abs_diff(bx) + cy.abs_diff(by);
+                assert!(dist <= 2, "core {core} bank {b} is {dist} hops away");
+            }
+        }
+    }
+
+    #[test]
+    fn rnuca_rotational_interleaving_covers_cluster() {
+        let r = RNuca::new(4, 4);
+        for core in 0..16usize {
+            let mut seen = std::collections::HashSet::new();
+            for line in 0..16u64 {
+                seen.insert(r.bank_of(core, line));
+            }
+            assert_eq!(seen.len(), 4, "core {core} must use all 4 cluster banks");
+            for b in &seen {
+                assert!(r.cluster(core).contains(b));
+            }
+        }
+    }
+
+    #[test]
+    fn rnuca_mapping_is_deterministic_per_line() {
+        let mut r = RNuca::new(4, 4);
+        let line = phys_addr(3, 0x12340) >> 6;
+        let m = meta(line, false);
+        let b1 = r.lookup_bank(&m);
+        let b2 = r.lookup_bank(&m);
+        let b3 = r.fill_bank(&m);
+        assert_eq!(b1, b2);
+        assert_eq!(b1, b3);
+    }
+
+    #[test]
+    fn rnuca_localizes_each_cores_lines() {
+        // All of core 12's lines land inside core 12's cluster.
+        let mut r = RNuca::new(4, 4);
+        for i in 0..100u64 {
+            let line = phys_addr(12, i * 64) >> 6;
+            let b = r.lookup_bank(&meta(line, false));
+            assert!(r.cluster(12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn rnuca_works_on_small_meshes() {
+        let r = RNuca::new(2, 2);
+        assert_eq!(r.cluster(0).len(), 4);
+        let r1 = RNuca::new(1, 1);
+        assert_eq!(r1.cluster(0), &[0]);
+        assert_eq!(r1.bank_of(0, 1234), 0);
+    }
+
+    // --- Private ---
+
+    #[test]
+    fn private_uses_owner_bank() {
+        let mut p = PrivateMap::new(16);
+        for core in 0..16usize {
+            let line = phys_addr(core, 0x5000) >> 6;
+            assert_eq!(p.lookup_bank(&meta(line, false)), core);
+            assert_eq!(p.fill_bank(&meta(line, true)), core);
+        }
+    }
+
+    // --- Naive ---
+
+    #[test]
+    fn naive_fills_least_written_bank() {
+        let mut n = NaiveOracle::new(4, 60);
+        // Pre-load writes: bank 2 is the least written.
+        n.on_l3_write(0);
+        n.on_l3_write(0);
+        n.on_l3_write(1);
+        n.on_l3_write(3);
+        assert_eq!(n.fill_bank(&meta(100, false)), 2);
+    }
+
+    #[test]
+    fn naive_directory_finds_filled_lines() {
+        let mut n = NaiveOracle::new(4, 60);
+        let m = meta(0xabc, false);
+        let bank = n.fill_bank(&m);
+        n.on_fill(&m, bank);
+        assert_eq!(n.lookup_bank(&m), bank);
+        assert_eq!(n.directory_len(), 1);
+        n.on_evict(m.line, bank);
+        assert_eq!(n.directory_len(), 0);
+        // After eviction lookups fall back to the S-NUCA probe bank.
+        assert_eq!(n.lookup_bank(&m), (m.line & 3) as usize);
+    }
+
+    #[test]
+    fn naive_charges_directory_latency() {
+        let n = NaiveOracle::new(16, 60);
+        assert_eq!(n.lookup_overhead(), 60);
+        let mut s = SNuca::new(16);
+        assert_eq!(LlcPlacement::lookup_overhead(&mut s), 0);
+    }
+
+    #[test]
+    fn naive_perfectly_levels_synthetic_writes() {
+        let mut n = NaiveOracle::new(4, 0);
+        // 1000 fills, each writing once: counters must stay within 1.
+        for i in 0..1000u64 {
+            let m = meta(i, false);
+            let b = n.fill_bank(&m);
+            n.on_fill(&m, b);
+            n.on_l3_write(b);
+        }
+        let w = n.write_counters();
+        let max = w.iter().max().unwrap();
+        let min = w.iter().min().unwrap();
+        assert!(max - min <= 1, "oracle must level perfectly: {w:?}");
+    }
+
+    // --- Re-NUCA ---
+
+    #[test]
+    fn renuca_noncritical_goes_snuca_critical_goes_rnuca() {
+        let mut r = ReNuca::new(4, 4);
+        let line = phys_addr(5, 0x7000) >> 6;
+
+        let nc = meta(line, false);
+        assert_eq!(r.fill_bank(&nc), (line & 15) as usize);
+
+        let c = meta(line, true);
+        let bank = r.fill_bank(&c);
+        assert!(r.rnuca.cluster(5).contains(&bank));
+    }
+
+    #[test]
+    fn renuca_first_lookup_defaults_to_snuca() {
+        let mut r = ReNuca::new(4, 4);
+        let line = phys_addr(9, 0x9999_40) >> 6;
+        // No fill yet: MBV bit 0 -> S-NUCA side.
+        assert_eq!(r.lookup_bank(&meta(line, false)), (line & 15) as usize);
+        assert_eq!(r.renuca_stats.lookups_snuca, 1);
+    }
+
+    #[test]
+    fn renuca_mbv_remembers_critical_placement() {
+        let mut r = ReNuca::new(4, 4);
+        let line = phys_addr(5, 0x7000) >> 6;
+        let c = meta(line, true);
+        let bank = r.fill_bank(&c);
+        r.on_fill(&c, bank);
+        // Later lookups (even with a non-critical prediction!) must follow
+        // the MBV to the R-NUCA bank: residency, not prediction, routes.
+        let probe = meta(line, false);
+        assert_eq!(r.lookup_bank(&probe), bank);
+        assert_eq!(r.renuca_stats.lookups_rnuca, 1);
+    }
+
+    #[test]
+    fn renuca_eviction_resets_mbv() {
+        let mut r = ReNuca::new(4, 4);
+        let line = phys_addr(5, 0x7000) >> 6;
+        let c = meta(line, true);
+        let bank = r.fill_bank(&c);
+        r.on_fill(&c, bank);
+        r.on_evict(line, bank);
+        // Post-eviction lookup routes to S-NUCA again.
+        assert_eq!(r.lookup_bank(&meta(line, false)), (line & 15) as usize);
+    }
+
+    #[test]
+    fn renuca_neighbouring_lines_have_independent_bits() {
+        let mut r = ReNuca::new(4, 4);
+        let base = phys_addr(2, 0x10000);
+        let l0 = base >> 6;
+        let l1 = (base + 64) >> 6; // next line, same page
+        let c = meta(l0, true);
+        let b = r.fill_bank(&c);
+        r.on_fill(&c, b);
+        // l1 was never filled critical: still S-NUCA routed.
+        assert_eq!(r.lookup_bank(&meta(l1, false)), (l1 & 15) as usize);
+        // l0 is R-NUCA routed.
+        assert_eq!(r.lookup_bank(&meta(l0, false)), b);
+    }
+
+    #[test]
+    fn renuca_stats_track_fill_mix() {
+        let mut r = ReNuca::new(4, 4);
+        for i in 0..10u64 {
+            let line = phys_addr(1, i * 64) >> 6;
+            let m = meta(line, i % 2 == 0);
+            let b = r.fill_bank(&m);
+            r.on_fill(&m, b);
+        }
+        assert_eq!(r.renuca_stats.critical_fills, 5);
+        assert_eq!(r.renuca_stats.noncritical_fills, 5);
+    }
+
+    #[test]
+    fn two_probe_has_no_residency_state() {
+        let mut p = ReNucaTwoProbe::new(4, 4);
+        let line = phys_addr(5, 0x7000) >> 6;
+        let c = meta(line, true);
+        // Critical fills go to the R-NUCA side...
+        let fill = p.fill_bank(&c);
+        assert!(p.rnuca.cluster(5).contains(&fill));
+        // ...but the primary lookup is always the S-NUCA home,
+        assert_eq!(p.lookup_bank(&c), (line & 15) as usize);
+        // ...with the R-NUCA candidate as the second probe.
+        assert_eq!(p.secondary_bank(&c), Some(fill));
+        // Evictions are no-ops: there is nothing to reset.
+        p.on_evict(line, fill);
+        assert_eq!(p.lookup_bank(&c), (line & 15) as usize);
+    }
+
+    #[test]
+    fn renuca_mbv_survives_tlb_eviction_via_backing_store() {
+        // Touch enough distinct pages to overflow the 64-entry TLB, then
+        // verify the first page's MBV bit is still correct (page-table
+        // backing store).
+        let mut r = ReNuca::new(4, 4);
+        let first = phys_addr(3, 0);
+        let l0 = first >> 6;
+        let c = meta(l0, true);
+        let bank = r.fill_bank(&c);
+        r.on_fill(&c, bank);
+        for p in 1..200u64 {
+            let line = phys_addr(3, p * 4096) >> 6;
+            let m = meta(line, false);
+            // Realistic access sequence: lookup (faults the page's MBV into
+            // the TLB), then miss-fill.
+            r.lookup_bank(&m);
+            let b = r.fill_bank(&m);
+            r.on_fill(&m, b);
+        }
+        assert!(r.tlb(3).stats().evictions.get() > 0, "TLB must have churned");
+        assert_eq!(
+            r.lookup_bank(&meta(l0, false)),
+            bank,
+            "MBV bit must survive TLB eviction"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! One-stop factory for the five evaluated NUCA schemes.
+//!
+//! The experiment harness builds a `System` per (scheme × workload × config)
+//! cell; this module centralizes the wiring: which placement policy to
+//! instantiate and which criticality predictors the cores need (CPTs for
+//! Re-NUCA, inert predictors otherwise).
+
+use cmp_sim::config::SystemConfig;
+use cmp_sim::placement::{CriticalityPredictor, LlcPlacement, NeverCritical};
+
+use crate::criticality::{Cpt, CptConfig};
+use crate::mapping::{NaiveOracle, PrivateMap, RNuca, ReNuca, SNuca};
+
+/// The five NUCA schemes of the paper's evaluation (§V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Address-interleaved static NUCA.
+    SNuca,
+    /// Reactive NUCA one-hop clusters.
+    RNuca,
+    /// Per-core private banks.
+    Private,
+    /// Perfect wear-leveling oracle with a global directory.
+    Naive,
+    /// The paper's contribution: criticality-gated hybrid.
+    ReNuca,
+}
+
+impl Scheme {
+    /// All schemes, in the paper's usual presentation order.
+    pub const ALL: [Scheme; 5] = [
+        Scheme::Naive,
+        Scheme::SNuca,
+        Scheme::ReNuca,
+        Scheme::RNuca,
+        Scheme::Private,
+    ];
+
+    /// The four baseline schemes of the motivation study (Figure 3).
+    pub const BASELINES: [Scheme; 4] = [
+        Scheme::SNuca,
+        Scheme::RNuca,
+        Scheme::Private,
+        Scheme::Naive,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::SNuca => "S-NUCA",
+            Scheme::RNuca => "R-NUCA",
+            Scheme::Private => "Private",
+            Scheme::Naive => "Naive",
+            Scheme::ReNuca => "Re-NUCA",
+        }
+    }
+
+    /// Build the placement policy for this scheme under `cfg`.
+    pub fn build_policy(self, cfg: &SystemConfig) -> Box<dyn LlcPlacement> {
+        match self {
+            Scheme::SNuca => Box::new(SNuca::new(cfg.n_banks)),
+            Scheme::RNuca => Box::new(RNuca::new(cfg.noc.cols, cfg.noc.rows)),
+            Scheme::Private => Box::new(PrivateMap::new(cfg.n_cores)),
+            Scheme::Naive => Box::new(NaiveOracle::new(cfg.n_banks, cfg.naive_dir_latency)),
+            Scheme::ReNuca => Box::new(ReNuca::with_tlb_geometry(
+                cfg.noc.cols,
+                cfg.noc.rows,
+                cfg.tlb_entries,
+                cfg.tlb_assoc,
+            )),
+        }
+    }
+
+    /// Build the per-core criticality predictors for this scheme: CPTs with
+    /// `cpt` configuration for Re-NUCA, inert predictors for every baseline
+    /// (their placement ignores criticality).
+    pub fn build_predictors(
+        self,
+        cfg: &SystemConfig,
+        cpt: CptConfig,
+    ) -> Vec<Box<dyn CriticalityPredictor>> {
+        match self {
+            Scheme::ReNuca => (0..cfg.n_cores)
+                .map(|_| Box::new(Cpt::new(cpt)) as Box<dyn CriticalityPredictor>)
+                .collect(),
+            _ => (0..cfg.n_cores)
+                .map(|_| Box::new(NeverCritical) as Box<dyn CriticalityPredictor>)
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Scheme::SNuca.name(), "S-NUCA");
+        assert_eq!(Scheme::ReNuca.name(), "Re-NUCA");
+        assert_eq!(format!("{}", Scheme::Naive), "Naive");
+    }
+
+    #[test]
+    fn build_policy_names_roundtrip() {
+        let cfg = SystemConfig::small(16);
+        for s in Scheme::ALL {
+            let mut p = s.build_policy(&cfg);
+            assert_eq!(p.name(), s.name());
+            // Smoke: every policy answers a lookup.
+            let meta = cmp_sim::placement::AccessMeta {
+                core: 0,
+                line: 1234,
+                page: 1234 >> 6,
+                pc: 1,
+                kind: cmp_sim::placement::LlcAccessKind::Demand,
+                predicted_critical: false,
+            };
+            let b = p.lookup_bank(&meta);
+            assert!(b < cfg.n_banks);
+        }
+    }
+
+    #[test]
+    fn predictors_match_core_count() {
+        let cfg = SystemConfig::small(4);
+        for s in Scheme::ALL {
+            let preds = s.build_predictors(&cfg, CptConfig::default());
+            assert_eq!(preds.len(), 4);
+        }
+    }
+
+    #[test]
+    fn only_renuca_gets_learning_predictors() {
+        let cfg = SystemConfig::small(4);
+        let mut preds = Scheme::ReNuca.build_predictors(&cfg, CptConfig::default());
+        // A CPT learns: after a block+commit cycle the PC becomes critical.
+        preds[0].predict(9);
+        preds[0].on_rob_block(9);
+        preds[0].on_load_commit(9, true);
+        assert!(preds[0].predict(9));
+
+        let mut base = Scheme::SNuca.build_predictors(&cfg, CptConfig::default());
+        base[0].predict(9);
+        base[0].on_rob_block(9);
+        base[0].on_load_commit(9, true);
+        assert!(!base[0].predict(9), "baselines must never predict critical");
+    }
+}

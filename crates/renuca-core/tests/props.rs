@@ -1,0 +1,163 @@
+//! Property-based tests for the Re-NUCA policies and predictor.
+
+use proptest::prelude::*;
+
+use cmp_sim::placement::{AccessMeta, CriticalityPredictor, LlcAccessKind, LlcPlacement};
+use cmp_sim::types::{page_of_line, phys_addr};
+use renuca_core::{Cpt, CptConfig, EnhancedTlb, NaiveOracle, RNuca, ReNuca, SNuca};
+
+fn meta(line: u64, critical: bool) -> AccessMeta {
+    AccessMeta {
+        core: 0,
+        line,
+        page: page_of_line(line),
+        pc: 1,
+        kind: LlcAccessKind::Demand,
+        predicted_critical: critical,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// S-NUCA striping is uniform over any window of consecutive lines.
+    #[test]
+    fn snuca_uniform_over_windows(start in 0u64..1_000_000) {
+        let s = SNuca::new(16);
+        let mut counts = [0u32; 16];
+        for line in start..start + 160 {
+            counts[s.bank_of(line)] += 1;
+        }
+        for &c in &counts {
+            prop_assert_eq!(c, 10);
+        }
+    }
+
+    /// R-NUCA: every line of every core lands inside that core's cluster,
+    /// and the rotational interleave uses the whole cluster over any
+    /// consecutive address window.
+    #[test]
+    fn rnuca_cluster_containment(core in 0usize..16, start in 0u64..1_000_000) {
+        let r = RNuca::new(4, 4);
+        let mut seen = std::collections::HashSet::new();
+        for line in start..start + 64 {
+            let b = r.bank_of(core, line);
+            prop_assert!(r.cluster(core).contains(&b));
+            seen.insert(b);
+        }
+        prop_assert_eq!(seen.len(), r.cluster(core).len());
+    }
+
+    /// The Naive oracle's directory is exact under any fill/evict schedule:
+    /// a resident line is looked up at its fill bank; non-resident lines
+    /// fall back to the S-NUCA probe.
+    #[test]
+    fn naive_directory_exactness(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+        let mut naive = NaiveOracle::new(8, 0);
+        let snuca = SNuca::new(8);
+        let mut resident: std::collections::HashMap<u64, usize> = Default::default();
+        for (line, evict) in ops {
+            let m = meta(line, false);
+            if evict {
+                if let Some(bank) = resident.remove(&line) {
+                    naive.on_evict(line, bank);
+                }
+            } else if !resident.contains_key(&line) {
+                let bank = naive.fill_bank(&m);
+                naive.on_fill(&m, bank);
+                naive.on_l3_write(bank);
+                resident.insert(line, bank);
+            }
+            let expect = resident
+                .get(&line)
+                .copied()
+                .unwrap_or_else(|| snuca.bank_of(line));
+            prop_assert_eq!(naive.lookup_bank(&m), expect);
+        }
+        prop_assert_eq!(naive.directory_len(), resident.len());
+    }
+
+    /// Re-NUCA invariant under arbitrary fill/evict interleavings: lookup
+    /// routes to the bank of the *most recent surviving fill*, S-NUCA
+    /// otherwise. (This is the MBV correctness argument of §IV.C.)
+    #[test]
+    fn renuca_routing_model(ops in prop::collection::vec((0usize..8, 0u64..32, any::<bool>(), any::<bool>()), 1..300)) {
+        let mut renuca = ReNuca::new(4, 4);
+        let snuca = SNuca::new(16);
+        let mut residency: std::collections::HashMap<u64, usize> = Default::default();
+        for (core, off, critical, evict) in ops {
+            let line = phys_addr(core, off * 64) >> 6;
+            let mut m = meta(line, critical);
+            m.core = core;
+            if evict {
+                if let Some(bank) = residency.remove(&line) {
+                    renuca.on_evict(line, bank);
+                }
+            } else if !residency.contains_key(&line) {
+                let bank = renuca.fill_bank(&m);
+                renuca.on_fill(&m, bank);
+                residency.insert(line, bank);
+            }
+            let expect = residency
+                .get(&line)
+                .copied()
+                .unwrap_or_else(|| snuca.bank_of(line));
+            prop_assert_eq!(renuca.lookup_bank(&m), expect, "line {:#x}", line);
+        }
+    }
+
+    /// Enhanced-TLB MBV bits survive arbitrary churn: the vector read back
+    /// always equals a reference model, no matter how entries migrate
+    /// between the TLB and the backing store.
+    #[test]
+    fn enhanced_tlb_matches_reference(ops in prop::collection::vec((0u64..40, 0u32..64, any::<bool>()), 1..400)) {
+        let mut tlb = EnhancedTlb::new(8, 2); // tiny: lots of eviction churn
+        let mut reference: std::collections::HashMap<u64, u64> = Default::default();
+        for (page, bit, value) in ops {
+            tlb.set_mbv_bit(page, bit, value);
+            let e = reference.entry(page).or_insert(0);
+            if value { *e |= 1 << bit } else { *e &= !(1 << bit) }
+            // Interleave reads of random other pages to force churn.
+            let probe = (page * 7 + 3) % 40;
+            let expect_bit = (reference.get(&probe).copied().unwrap_or(0) >> (bit % 64)) & 1 == 1;
+            prop_assert_eq!(tlb.mbv_bit(probe, bit % 64), expect_bit);
+        }
+        for (&page, &bits) in &reference {
+            prop_assert_eq!(tlb.mbv(page), bits, "page {}", page);
+        }
+    }
+
+    /// CPT: prediction equals the definition `robBlocks*100 >= x*numLoads`
+    /// applied to the running counters, for any event sequence.
+    #[test]
+    fn cpt_matches_definition(events in prop::collection::vec(any::<bool>(), 1..300), x in 1.0f64..100.0) {
+        let mut cpt = Cpt::new(CptConfig { entries: 16, threshold_pct: x, aging_cap: 1 << 30 });
+        let pc = 0x10;
+        let mut num_loads = 0u64;
+        let mut blocks = 0u64;
+        for blocked in events {
+            let predicted = cpt.predict(pc);
+            if num_loads > 0 {
+                // Model: the entry exists after the first commit.
+                let expect = blocks as f64 * 100.0 >= x * num_loads as f64;
+                prop_assert_eq!(predicted, expect, "n={} b={}", num_loads, blocks);
+            } else {
+                prop_assert!(!predicted, "first touch must be non-critical");
+            }
+            if num_loads > 0 {
+                num_loads += 1;
+            }
+            if blocked {
+                if num_loads > 0 {
+                    blocks += 1;
+                }
+                cpt.on_rob_block(pc);
+            }
+            cpt.on_load_commit(pc, blocked);
+            if num_loads == 0 {
+                num_loads = 1;
+                blocks = blocked as u64;
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the statistics primitives.
+
+use proptest::prelude::*;
+use sim_stats::{amean, gmean, hmean, max_f64, min_f64, Histogram, Summary};
+
+proptest! {
+    /// The classic mean inequality chain holds for any positive series.
+    #[test]
+    fn am_gm_hm_inequality(xs in prop::collection::vec(0.001f64..1e6, 1..64)) {
+        let h = hmean(&xs);
+        let g = gmean(&xs);
+        let a = amean(&xs);
+        prop_assert!(h <= g * (1.0 + 1e-9), "HM {h} > GM {g}");
+        prop_assert!(g <= a * (1.0 + 1e-9), "GM {g} > AM {a}");
+    }
+
+    /// All means lie between min and max.
+    #[test]
+    fn means_bounded_by_extremes(xs in prop::collection::vec(0.001f64..1e6, 1..64)) {
+        let lo = min_f64(&xs).unwrap();
+        let hi = max_f64(&xs).unwrap();
+        for m in [hmean(&xs), gmean(&xs), amean(&xs)] {
+            prop_assert!(m >= lo * (1.0 - 1e-9) && m <= hi * (1.0 + 1e-9));
+        }
+    }
+
+    /// Scaling the series scales every mean linearly.
+    #[test]
+    fn means_are_homogeneous(xs in prop::collection::vec(0.01f64..1e4, 1..32), k in 0.01f64..100.0) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        prop_assert!((amean(&scaled) - k * amean(&xs)).abs() < 1e-6 * k * amean(&xs).max(1.0));
+        prop_assert!((hmean(&scaled) - k * hmean(&xs)).abs() < 1e-6 * k * hmean(&xs).max(1.0));
+    }
+
+    /// Histogram count/sum/min/max are exact regardless of bucketing.
+    #[test]
+    fn histogram_exact_aggregates(xs in prop::collection::vec(0u64..1_000_000, 1..256)) {
+        let mut h = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        prop_assert_eq!(h.sum(), xs.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), xs.iter().min().copied());
+        prop_assert_eq!(h.max(), xs.iter().max().copied());
+        // Bucket counts add up.
+        let bucketed: u64 = h.nonempty_buckets().map(|(_, _, n)| n).sum();
+        prop_assert_eq!(bucketed, xs.len() as u64);
+    }
+
+    /// Merging two histograms equals recording the concatenation.
+    #[test]
+    fn histogram_merge_is_concat(
+        a in prop::collection::vec(0u64..100_000, 0..128),
+        b in prop::collection::vec(0u64..100_000, 0..128),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for &x in &a { ha.record(x); hc.record(x); }
+        for &x in &b { hb.record(x); hc.record(x); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.sum(), hc.sum());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+    }
+
+    /// Percentiles are monotone in p.
+    #[test]
+    fn percentiles_monotone(xs in prop::collection::vec(0u64..1_000_000, 1..256)) {
+        let mut h = Histogram::new();
+        for &x in &xs { h.record(x); }
+        let mut last = 0;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p).unwrap();
+            prop_assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    /// Summary agrees with the standalone functions.
+    #[test]
+    fn summary_consistent(xs in prop::collection::vec(0.01f64..1e5, 1..64)) {
+        let s = Summary::of(&xs);
+        prop_assert_eq!(s.n, xs.len());
+        prop_assert!((s.mean - amean(&xs)).abs() < 1e-9 * amean(&xs).max(1.0));
+        prop_assert_eq!(s.min, min_f64(&xs).unwrap());
+        prop_assert_eq!(s.max, max_f64(&xs).unwrap());
+    }
+}

@@ -1,0 +1,151 @@
+//! Cache energy accounting: the quantitative side of the paper's §I
+//! motivation.
+//!
+//! The paper's opening argument for ReRAM LLCs is power: *"standby power is
+//! up to 80% of their total power"* for large SRAM caches [Kim+, ISLPED'03],
+//! while ReRAM's non-volatility makes its standby power near zero — at the
+//! price of expensive writes (and the endurance problem the rest of the
+//! paper addresses). This module turns simulated access counts into energy
+//! so that trade-off can be reported next to the lifetime results.
+//!
+//! Device numbers are per-line (64 B) access energies and per-MB leakage,
+//! with presets in the range published for 22–32 nm SRAM and HfOx/TaOx
+//! ReRAM arrays. They are order-of-magnitude device parameters, not process
+//! sign-off numbers; both presets are `pub` and the struct is plain data —
+//! swap in your own.
+
+/// Per-device energy parameters for one cache technology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// Technology label for reports.
+    pub name: &'static str,
+    /// Energy of one 64 B line read, picojoules.
+    pub read_pj: f64,
+    /// Energy of one 64 B line write, picojoules.
+    pub write_pj: f64,
+    /// Standby (leakage) power per megabyte of array, milliwatts.
+    pub leakage_mw_per_mb: f64,
+}
+
+impl EnergyModel {
+    /// Large SRAM array preset: cheap symmetric accesses, heavy leakage
+    /// (the \"up to 80% of total power\" regime the paper cites).
+    pub const SRAM: EnergyModel = EnergyModel {
+        name: "SRAM",
+        read_pj: 120.0,
+        write_pj: 120.0,
+        leakage_mw_per_mb: 30.0,
+    };
+
+    /// Metal-oxide ReRAM array preset: fast-ish reads, expensive writes,
+    /// near-zero standby power.
+    pub const RERAM: EnergyModel = EnergyModel {
+        name: "ReRAM",
+        read_pj: 200.0,
+        write_pj: 1_500.0,
+        leakage_mw_per_mb: 0.02,
+    };
+
+    /// Total energy over a window, in millijoules.
+    ///
+    /// `reads`/`writes` are line accesses, `seconds` the wall-clock window
+    /// and `capacity_mb` the array size (leakage integrates over time and
+    /// capacity regardless of activity — that is the whole point).
+    pub fn energy_mj(&self, reads: u64, writes: u64, seconds: f64, capacity_mb: f64) -> EnergyBreakdown {
+        assert!(seconds >= 0.0 && capacity_mb >= 0.0);
+        let dynamic_read = reads as f64 * self.read_pj * 1e-9; // pJ -> mJ
+        let dynamic_write = writes as f64 * self.write_pj * 1e-9;
+        let standby = self.leakage_mw_per_mb * capacity_mb * seconds; // mW*s = mJ
+        EnergyBreakdown {
+            read_mj: dynamic_read,
+            write_mj: dynamic_write,
+            standby_mj: standby,
+        }
+    }
+}
+
+/// Energy decomposition of one window.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Dynamic read energy, mJ.
+    pub read_mj: f64,
+    /// Dynamic write energy, mJ.
+    pub write_mj: f64,
+    /// Standby/leakage energy, mJ.
+    pub standby_mj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, mJ.
+    pub fn total_mj(&self) -> f64 {
+        self.read_mj + self.write_mj + self.standby_mj
+    }
+
+    /// Standby share of the total, in [0,1].
+    pub fn standby_fraction(&self) -> f64 {
+        let t = self.total_mj();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.standby_mj / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_reflect_the_papers_story() {
+        // ReRAM writes cost much more than SRAM writes...
+        assert!(EnergyModel::RERAM.write_pj > 5.0 * EnergyModel::SRAM.write_pj);
+        // ...but its leakage is orders of magnitude lower.
+        assert!(EnergyModel::SRAM.leakage_mw_per_mb > 50.0 * EnergyModel::RERAM.leakage_mw_per_mb);
+    }
+
+    #[test]
+    fn sram_llc_is_leakage_dominated() {
+        // A 32 MB SRAM L3 under a realistic access rate: ~1e7 accesses/s.
+        // The paper's §I claim: standby is up to 80% of total power.
+        let e = EnergyModel::SRAM.energy_mj(8_000_000, 2_000_000, 1.0, 32.0);
+        assert!(
+            e.standby_fraction() > 0.4,
+            "SRAM standby share {:.2} should dominate",
+            e.standby_fraction()
+        );
+    }
+
+    #[test]
+    fn reram_llc_is_not_leakage_dominated() {
+        let e = EnergyModel::RERAM.energy_mj(8_000_000, 2_000_000, 1.0, 32.0);
+        assert!(
+            e.standby_fraction() < 0.2,
+            "ReRAM standby share {:.2} should be small",
+            e.standby_fraction()
+        );
+    }
+
+    #[test]
+    fn energy_decomposition_adds_up() {
+        let e = EnergyModel::SRAM.energy_mj(100, 50, 2.0, 4.0);
+        assert!((e.total_mj() - (e.read_mj + e.write_mj + e.standby_mj)).abs() < 1e-12);
+        // Reads: 100 * 120pJ = 12 nJ = 1.2e-5 mJ.
+        assert!((e.read_mj - 1.2e-5).abs() < 1e-12);
+        // Standby: 30 mW/MB * 4 MB * 2 s = 240 mJ.
+        assert!((e.standby_mj - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_window_zero_standby() {
+        let e = EnergyModel::RERAM.energy_mj(10, 10, 0.0, 32.0);
+        assert_eq!(e.standby_mj, 0.0);
+        assert!(e.total_mj() > 0.0);
+    }
+
+    #[test]
+    fn idle_cache_energy_is_pure_standby() {
+        let e = EnergyModel::SRAM.energy_mj(0, 0, 10.0, 32.0);
+        assert_eq!(e.standby_fraction(), 1.0);
+    }
+}

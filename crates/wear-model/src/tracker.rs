@@ -1,0 +1,221 @@
+//! Per-slot write counters for a banked cache.
+
+/// Tracks every write into every physical line slot of a banked cache.
+///
+/// A *slot* is a (set, way) position inside one bank — the actual ReRAM
+/// cells. The tracker is a dense `nbanks × slots_per_bank` array of `u64`
+/// counters: for the paper's configuration (16 banks × 2 MB / 64 B = 32768
+/// slots) that is 4 MB of counters, cheap enough to keep exact counts.
+#[derive(Clone, Debug)]
+pub struct WearTracker {
+    nbanks: usize,
+    slots_per_bank: usize,
+    /// Row-major: `writes[bank * slots_per_bank + slot]`.
+    writes: Vec<u64>,
+    /// Per-bank totals, maintained incrementally (hot path reads these).
+    bank_totals: Vec<u64>,
+}
+
+impl WearTracker {
+    /// Create a tracker for `nbanks` banks of `slots_per_bank` line slots.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(nbanks: usize, slots_per_bank: usize) -> Self {
+        assert!(nbanks > 0, "need at least one bank");
+        assert!(slots_per_bank > 0, "need at least one slot per bank");
+        WearTracker {
+            nbanks,
+            slots_per_bank,
+            writes: vec![0; nbanks * slots_per_bank],
+            bank_totals: vec![0; nbanks],
+        }
+    }
+
+    /// Number of banks tracked.
+    #[inline]
+    pub fn nbanks(&self) -> usize {
+        self.nbanks
+    }
+
+    /// Number of line slots per bank.
+    #[inline]
+    pub fn slots_per_bank(&self) -> usize {
+        self.slots_per_bank
+    }
+
+    /// Record one write into `slot` of `bank`.
+    ///
+    /// # Panics
+    /// Debug-asserts the indices; in release an out-of-range index panics via
+    /// the slice bound check (a simulator bug, not a recoverable condition).
+    #[inline]
+    pub fn record_write(&mut self, bank: usize, slot: usize) {
+        debug_assert!(bank < self.nbanks, "bank {bank} out of range");
+        debug_assert!(slot < self.slots_per_bank, "slot {slot} out of range");
+        self.writes[bank * self.slots_per_bank + slot] += 1;
+        self.bank_totals[bank] += 1;
+    }
+
+    /// Total writes absorbed by `bank`.
+    #[inline]
+    pub fn bank_writes(&self, bank: usize) -> u64 {
+        self.bank_totals[bank]
+    }
+
+    /// Per-bank totals as a slice (index = bank id).
+    #[inline]
+    pub fn bank_totals(&self) -> &[u64] {
+        &self.bank_totals
+    }
+
+    /// Total writes across all banks.
+    pub fn total_writes(&self) -> u64 {
+        self.bank_totals.iter().sum()
+    }
+
+    /// The most-written slot of `bank` (its count).
+    pub fn max_slot_writes(&self, bank: usize) -> u64 {
+        let base = bank * self.slots_per_bank;
+        self.writes[base..base + self.slots_per_bank]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Writes of an individual slot.
+    #[inline]
+    pub fn slot_writes(&self, bank: usize, slot: usize) -> u64 {
+        self.writes[bank * self.slots_per_bank + slot]
+    }
+
+    /// Index of the bank with the fewest total writes (ties -> lowest id).
+    /// This is the Naive oracle's placement rule.
+    pub fn min_write_bank(&self) -> usize {
+        let mut best = 0;
+        let mut best_w = self.bank_totals[0];
+        for (b, &w) in self.bank_totals.iter().enumerate().skip(1) {
+            if w < best_w {
+                best = b;
+                best_w = w;
+            }
+        }
+        best
+    }
+
+    /// Reset all counters (between warm-up and measurement).
+    pub fn reset(&mut self) {
+        self.writes.iter_mut().for_each(|w| *w = 0);
+        self.bank_totals.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Merge another tracker of identical geometry into this one.
+    ///
+    /// # Panics
+    /// Panics on geometry mismatch.
+    pub fn merge(&mut self, other: &WearTracker) {
+        assert_eq!(self.nbanks, other.nbanks, "bank count mismatch");
+        assert_eq!(
+            self.slots_per_bank, other.slots_per_bank,
+            "slot count mismatch"
+        );
+        for (a, b) in self.writes.iter_mut().zip(other.writes.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.bank_totals.iter_mut().zip(other.bank_totals.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_tracker_is_zero() {
+        let t = WearTracker::new(4, 8);
+        assert_eq!(t.nbanks(), 4);
+        assert_eq!(t.slots_per_bank(), 8);
+        assert_eq!(t.total_writes(), 0);
+        assert_eq!(t.max_slot_writes(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        WearTracker::new(0, 8);
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut t = WearTracker::new(2, 4);
+        t.record_write(0, 1);
+        t.record_write(0, 1);
+        t.record_write(1, 3);
+        assert_eq!(t.bank_writes(0), 2);
+        assert_eq!(t.bank_writes(1), 1);
+        assert_eq!(t.slot_writes(0, 1), 2);
+        assert_eq!(t.slot_writes(0, 0), 0);
+        assert_eq!(t.max_slot_writes(0), 2);
+        assert_eq!(t.total_writes(), 3);
+        assert_eq!(t.bank_totals(), &[2, 1]);
+    }
+
+    #[test]
+    fn min_write_bank_prefers_lowest_id_on_tie() {
+        let mut t = WearTracker::new(3, 2);
+        assert_eq!(t.min_write_bank(), 0);
+        t.record_write(0, 0);
+        assert_eq!(t.min_write_bank(), 1);
+        t.record_write(1, 0);
+        t.record_write(2, 0);
+        // all equal again -> bank 0
+        assert_eq!(t.min_write_bank(), 0);
+    }
+
+    #[test]
+    fn bank_totals_consistent_with_slots() {
+        let mut t = WearTracker::new(2, 3);
+        for s in 0..3 {
+            for _ in 0..(s + 1) {
+                t.record_write(1, s);
+            }
+        }
+        let slot_sum: u64 = (0..3).map(|s| t.slot_writes(1, s)).sum();
+        assert_eq!(slot_sum, t.bank_writes(1));
+        assert_eq!(t.bank_writes(1), 6);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = WearTracker::new(2, 2);
+        t.record_write(0, 0);
+        t.record_write(1, 1);
+        t.reset();
+        assert_eq!(t.total_writes(), 0);
+        assert_eq!(t.slot_writes(1, 1), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = WearTracker::new(2, 2);
+        let mut b = WearTracker::new(2, 2);
+        a.record_write(0, 0);
+        b.record_write(0, 0);
+        b.record_write(1, 1);
+        a.merge(&b);
+        assert_eq!(a.slot_writes(0, 0), 2);
+        assert_eq!(a.bank_writes(1), 1);
+        assert_eq!(a.total_writes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn merge_rejects_geometry_mismatch() {
+        let mut a = WearTracker::new(2, 2);
+        let b = WearTracker::new(2, 3);
+        a.merge(&b);
+    }
+}

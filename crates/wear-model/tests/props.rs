@@ -1,0 +1,98 @@
+//! Property-based tests for the wear/lifetime model.
+
+use proptest::prelude::*;
+use wear_model::{
+    capacity_retention, hmean_lifetime_per_bank, raw_min_lifetime, time_to_capacity,
+    EnduranceSpec, IntraBankWear, LifetimeModel, WearTracker,
+};
+
+proptest! {
+    /// Lifetime is antitone in writes: more writes never lengthen life.
+    #[test]
+    fn lifetime_antitone_in_writes(w1 in 1u64..10_000, extra in 1u64..10_000) {
+        let mut a = WearTracker::new(1, 16);
+        let mut b = WearTracker::new(1, 16);
+        for i in 0..w1 {
+            a.record_write(0, (i % 16) as usize);
+            b.record_write(0, (i % 16) as usize);
+        }
+        for i in 0..extra {
+            b.record_write(0, (i % 16) as usize);
+        }
+        let m = LifetimeModel::default();
+        prop_assert!(
+            m.bank_lifetime_years(&b, 0, 1_000_000) <= m.bank_lifetime_years(&a, 0, 1_000_000)
+        );
+    }
+
+    /// Doubling endurance doubles (uncapped) lifetimes.
+    #[test]
+    fn lifetime_linear_in_endurance(writes in 100u64..50_000) {
+        let mut t = WearTracker::new(1, 16);
+        for i in 0..writes {
+            t.record_write(0, (i % 16) as usize);
+        }
+        let base = LifetimeModel {
+            endurance: EnduranceSpec::new(1e9),
+            cap_years: f64::INFINITY,
+            ..LifetimeModel::default()
+        };
+        let double = LifetimeModel {
+            endurance: EnduranceSpec::new(2e9),
+            cap_years: f64::INFINITY,
+            ..LifetimeModel::default()
+        };
+        let l1 = base.bank_lifetime_years(&t, 0, 1_000_000);
+        let l2 = double.bank_lifetime_years(&t, 0, 1_000_000);
+        prop_assert!((l2 / l1 - 2.0).abs() < 1e-9);
+    }
+
+    /// Max-slot lifetime never exceeds the uniform-assumption lifetime.
+    #[test]
+    fn max_slot_is_never_optimistic(slots in prop::collection::vec(0usize..16, 1..2_000) ) {
+        let mut t = WearTracker::new(1, 16);
+        for &s in &slots {
+            t.record_write(0, s);
+        }
+        let uniform = LifetimeModel { cap_years: f64::INFINITY, ..LifetimeModel::default() };
+        let maxslot = LifetimeModel {
+            intra_bank: IntraBankWear::MaxSlot,
+            cap_years: f64::INFINITY,
+            ..LifetimeModel::default()
+        };
+        prop_assert!(
+            maxslot.bank_lifetime_years(&t, 0, 1_000) <= uniform.bank_lifetime_years(&t, 0, 1_000) + 1e-9
+        );
+    }
+
+    /// The harmonic mean per bank is bounded by each workload's value, and
+    /// the raw minimum is the global floor.
+    #[test]
+    fn aggregate_bounds(
+        data in prop::collection::vec(prop::collection::vec(0.1f64..100.0, 4), 1..10)
+    ) {
+        let h = hmean_lifetime_per_bank(&data);
+        let raw = raw_min_lifetime(&data);
+        for (b, &hb) in h.iter().enumerate() {
+            let lo = data.iter().map(|w| w[b]).fold(f64::INFINITY, f64::min);
+            let hi = data.iter().map(|w| w[b]).fold(0.0f64, f64::max);
+            prop_assert!(hb >= lo - 1e-9 && hb <= hi + 1e-9);
+            prop_assert!(raw <= hb + 1e-9);
+        }
+    }
+
+    /// Retention curves are monotone non-increasing and consistent with
+    /// time_to_capacity.
+    #[test]
+    fn retention_consistency(lifetimes in prop::collection::vec(0.1f64..50.0, 2..32)) {
+        let curve = capacity_retention(&lifetimes, 60.0, 31);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+        prop_assert_eq!(curve[0].1, 1.0);
+        // Just past the first-death point, retention is below 100%.
+        let first_death = time_to_capacity(&lifetimes, 1.0);
+        let after = lifetimes.iter().filter(|&&l| l > first_death + 1e-9).count();
+        prop_assert!(after < lifetimes.len());
+    }
+}

@@ -1,0 +1,418 @@
+//! The synthetic application generator.
+//!
+//! An [`AppModel`] turns an [`AppSpec`](crate::spec::AppSpec) into an
+//! infinite, deterministic instruction stream (it implements
+//! [`cmp_sim::instr::InstrSource`]).
+//!
+//! Virtual-address layout inside the core's private 256 MB slice:
+//!
+//! ```text
+//! [0 .. 8K)              hot region   (L1-resident)
+//! [64K .. 64K+mid)       mid region   (L3-resident, misses the L2)
+//! [128M .. 128M+big)     big region   (beyond the L3)
+//! ```
+//!
+//! Mechanics:
+//!
+//! * memory ops are drawn with probability `mem_frac`, split across the
+//!   regions by their weights;
+//! * big-region accesses come in **bursts** of `burst` consecutive lines
+//!   (the MLP knob: a burst's misses overlap in the memory system so only
+//!   the leading one blocks the ROB head — isolated misses, `burst = 1`,
+//!   all block);
+//! * mid/big loads are followed by a store to the same line with the
+//!   region's store fraction (read-modify-write — the writeback source);
+//! * each region draws PCs from its own pool, giving the Criticality
+//!   Predictor Table stable loop PCs to learn.
+
+use cmp_sim::instr::{Instr, InstrSource};
+use cmp_sim::types::{Pc, LINE_BYTES};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{AppSpec, BigPattern};
+
+const HOT_BYTES: u64 = 8 * 1024;
+const HOT_BASE: u64 = 0;
+const MID_BASE: u64 = 64 * 1024;
+const BIG_BASE: u64 = 128 * 1024 * 1024;
+
+/// PC pool bases and sizes per region (word-aligned synthetic PCs).
+const HOT_PCS: (Pc, u32) = (0x1000, 64);
+const MID_PCS: (Pc, u32) = (0x2000, 32);
+const BIG_PCS: (Pc, u32) = (0x3000, 16);
+const SCAN_PCS: (Pc, u32) = (0x4000, 16);
+/// Store PCs live in a disjoint range from load PCs.
+const STORE_PC_OFFSET: Pc = 0x8000;
+
+/// A deterministic synthetic application.
+pub struct AppModel {
+    spec: AppSpec,
+    rng: SmallRng,
+    hot_lines: u64,
+    mid_lines: u64,
+    big_lines: u64,
+    /// Next big-region line of the current burst (absolute line index
+    /// within the big region).
+    burst_line: u64,
+    burst_left: u32,
+    /// Persistent stream position across bursts.
+    stream_pos: u64,
+    /// A store queued to follow its load (read-modify-write).
+    pending_store: Option<(u64, Pc)>,
+    /// Whether the current burst is a scan (separate PC pool).
+    in_scan: bool,
+    pc_counters: [u32; 4],
+}
+
+impl AppModel {
+    /// Build a model from a spec with a deterministic seed.
+    pub fn new(spec: AppSpec, seed: u64) -> Self {
+        spec.validate();
+        AppModel {
+            hot_lines: HOT_BYTES / LINE_BYTES,
+            mid_lines: spec.mid_bytes / LINE_BYTES,
+            big_lines: spec.big_bytes / LINE_BYTES,
+            rng: SmallRng::seed_from_u64(seed ^ 0x5eed_0000),
+            burst_line: 0,
+            burst_left: 0,
+            stream_pos: 0,
+            pending_store: None,
+            in_scan: false,
+            pc_counters: [0; 4],
+            spec,
+        }
+    }
+
+    /// The spec driving this model.
+    pub fn spec(&self) -> &AppSpec {
+        &self.spec
+    }
+
+    #[inline]
+    fn next_pc(&mut self, region: usize) -> Pc {
+        let (base, n) = [HOT_PCS, MID_PCS, BIG_PCS, SCAN_PCS][region];
+        let c = self.pc_counters[region];
+        self.pc_counters[region] = c.wrapping_add(1);
+        base + (c % n) * 4
+    }
+
+    #[inline]
+    fn hot_access(&mut self) -> Instr {
+        let line = self.rng.gen_range(0..self.hot_lines);
+        let vaddr = HOT_BASE + line * LINE_BYTES;
+        let pc = self.next_pc(0);
+        if self.rng.gen::<f64>() < self.spec.store_frac_hot {
+            Instr::Store { vaddr, pc: pc + STORE_PC_OFFSET }
+        } else {
+            Instr::Load { vaddr, pc }
+        }
+    }
+
+    #[inline]
+    fn mid_access(&mut self) -> Instr {
+        let line = self.rng.gen_range(0..self.mid_lines);
+        let vaddr = MID_BASE + line * LINE_BYTES;
+        let pc = self.next_pc(1);
+        if self.rng.gen::<f64>() < self.spec.store_frac_mid {
+            // Read-modify-write: the store trails the load.
+            self.pending_store = Some((vaddr, pc + STORE_PC_OFFSET));
+        }
+        Instr::Load { vaddr, pc }
+    }
+
+    #[inline]
+    fn big_access(&mut self) -> Instr {
+        let line = self.burst_line % self.big_lines;
+        self.burst_line += 1;
+        self.burst_left -= 1;
+        let vaddr = BIG_BASE + line * LINE_BYTES;
+        let pc = self.next_pc(if self.in_scan { 3 } else { 2 });
+        if self.rng.gen::<f64>() < self.spec.store_frac_big {
+            self.pending_store = Some((vaddr, pc + STORE_PC_OFFSET));
+        }
+        Instr::Load { vaddr, pc }
+    }
+
+    fn start_burst(&mut self) {
+        self.in_scan =
+            self.spec.scan_frac > 0.0 && self.rng.gen::<f64>() < self.spec.scan_frac;
+        let len = if self.in_scan {
+            self.spec.scan_burst
+        } else {
+            self.spec.burst
+        };
+        self.burst_left = len;
+        self.burst_line = match self.spec.big_pattern {
+            BigPattern::Stream => {
+                let start = self.stream_pos;
+                self.stream_pos = (self.stream_pos + len as u64) % self.big_lines;
+                start
+            }
+            BigPattern::Random => self.rng.gen_range(0..self.big_lines),
+        };
+    }
+
+    /// Expected burst length given the chase/scan mix.
+    fn expected_burst_len(&self) -> f64 {
+        (1.0 - self.spec.scan_frac) * self.spec.burst as f64
+            + self.spec.scan_frac * self.spec.scan_burst as f64
+    }
+}
+
+impl InstrSource for AppModel {
+    fn next_instr(&mut self) -> Instr {
+        if self.rng.gen::<f64>() < self.spec.mem_frac {
+            if let Some((vaddr, pc)) = self.pending_store.take() {
+                return Instr::Store { vaddr, pc };
+            }
+            if self.burst_left > 0 {
+                return self.big_access();
+            }
+            // A burst delivers several big accesses, so the *start*
+            // probability is the big weight divided by the expected burst
+            // length — keeping `w_big` the fraction of memory ops that are
+            // big-region loads regardless of burstiness.
+            let p_burst = self.spec.w_big / self.expected_burst_len();
+            let r: f64 = self.rng.gen();
+            if r < p_burst {
+                self.start_burst();
+                self.big_access()
+            } else if r < p_burst + self.spec.w_mid {
+                self.mid_access()
+            } else {
+                self.hot_access()
+            }
+        } else {
+            let latency = if self.spec.alu_long_frac > 0.0
+                && self.rng.gen::<f64>() < self.spec.alu_long_frac
+            {
+                self.spec.alu_long_latency
+            } else {
+                1
+            };
+            Instr::Alu { latency }
+        }
+    }
+
+    fn label(&self) -> &str {
+        self.spec.name
+    }
+
+    fn warm_ranges(&self) -> Vec<(u64, u64)> {
+        // The cache-resident working sets: hot (L1) and mid (L3) regions.
+        // The big region is streamed/missed by construction — warming it
+        // would be wrong.
+        if self.spec.w_mid > 0.0 {
+            vec![(HOT_BASE, HOT_BYTES), (MID_BASE, self.spec.mid_bytes)]
+        } else {
+            vec![(HOT_BASE, HOT_BYTES)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{app_by_name, SPEC_TABLE};
+
+    fn count_kinds(model: &mut AppModel, n: usize) -> (usize, usize, usize) {
+        let (mut loads, mut stores, mut alus) = (0, 0, 0);
+        for _ in 0..n {
+            match model.next_instr() {
+                Instr::Load { .. } => loads += 1,
+                Instr::Store { .. } => stores += 1,
+                Instr::Alu { .. } => alus += 1,
+            }
+        }
+        (loads, stores, alus)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = *app_by_name("mcf").unwrap();
+        let mut a = AppModel::new(spec, 7);
+        let mut b = AppModel::new(spec, 7);
+        for _ in 0..10_000 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = *app_by_name("mcf").unwrap();
+        let mut a = AppModel::new(spec, 1);
+        let mut b = AppModel::new(spec, 2);
+        let same = (0..1000).filter(|_| a.next_instr() == b.next_instr()).count();
+        assert!(same < 990, "streams should diverge: {same}/1000 identical");
+    }
+
+    #[test]
+    fn mem_fraction_approximates_spec() {
+        for name in ["mcf", "povray", "streamL"] {
+            let spec = *app_by_name(name).unwrap();
+            let mut m = AppModel::new(spec, 3);
+            let n = 200_000;
+            let (loads, stores, _) = count_kinds(&mut m, n);
+            let mem_frac = (loads + stores) as f64 / n as f64;
+            // Pending stores add extra memory ops beyond mem_frac draws;
+            // allow a generous band.
+            assert!(
+                (mem_frac - spec.mem_frac).abs() < 0.08,
+                "{name}: measured {mem_frac:.3} vs spec {:.3}",
+                spec.mem_frac
+            );
+        }
+    }
+
+    #[test]
+    fn streaml_stores_follow_loads() {
+        // streamL has store_frac_big = 1.0: every big load is followed by a
+        // store to the same line.
+        let spec = *app_by_name("streamL").unwrap();
+        let mut m = AppModel::new(spec, 5);
+        let mut last_big_load: Option<u64> = None;
+        let mut follows = 0;
+        let mut big_loads = 0;
+        for _ in 0..100_000 {
+            match m.next_instr() {
+                Instr::Load { vaddr, .. } if vaddr >= super::BIG_BASE => {
+                    big_loads += 1;
+                    last_big_load = Some(vaddr);
+                }
+                Instr::Store { vaddr, .. } if vaddr >= super::BIG_BASE => {
+                    if last_big_load == Some(vaddr) {
+                        follows += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(big_loads > 1000);
+        assert!(
+            follows as f64 > big_loads as f64 * 0.9,
+            "{follows}/{big_loads} stores followed their load"
+        );
+    }
+
+    #[test]
+    fn stream_pattern_is_sequential() {
+        let spec = *app_by_name("libquantum").unwrap();
+        let mut m = AppModel::new(spec, 11);
+        let mut big_lines = Vec::new();
+        for _ in 0..200_000 {
+            if let Instr::Load { vaddr, .. } = m.next_instr() {
+                if vaddr >= super::BIG_BASE {
+                    big_lines.push((vaddr - super::BIG_BASE) / 64);
+                }
+            }
+            if big_lines.len() > 500 {
+                break;
+            }
+        }
+        // Sequential: the vast majority of consecutive big loads differ by 1.
+        let seq = big_lines
+            .windows(2)
+            .filter(|w| w[1] == w[0] + 1 || w[1] == 0)
+            .count();
+        assert!(
+            seq as f64 > big_lines.len() as f64 * 0.9,
+            "stream must be sequential: {seq}/{}",
+            big_lines.len()
+        );
+    }
+
+    #[test]
+    fn random_pattern_is_not_sequential() {
+        // mcf without its scan phases: pure pointer-chase jumps.
+        let mut spec = *app_by_name("mcf").unwrap();
+        spec.scan_frac = 0.0;
+        let mut m = AppModel::new(spec, 11);
+        let mut big_lines = Vec::new();
+        for _ in 0..200_000 {
+            if let Instr::Load { vaddr, .. } = m.next_instr() {
+                if vaddr >= super::BIG_BASE {
+                    big_lines.push((vaddr - super::BIG_BASE) / 64);
+                }
+            }
+            if big_lines.len() > 500 {
+                break;
+            }
+        }
+        let seq = big_lines.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(
+            (seq as f64) < big_lines.len() as f64 * 0.2,
+            "mcf (burst=1) must jump around: {seq}/{}",
+            big_lines.len()
+        );
+    }
+
+    #[test]
+    fn addresses_stay_in_their_regions() {
+        for spec in &SPEC_TABLE {
+            let mut m = AppModel::new(*spec, 1);
+            for _ in 0..20_000 {
+                let (vaddr, _is_store) = match m.next_instr() {
+                    Instr::Load { vaddr, .. } => (vaddr, false),
+                    Instr::Store { vaddr, .. } => (vaddr, true),
+                    Instr::Alu { .. } => continue,
+                };
+                let in_hot = vaddr < HOT_BYTES;
+                let in_mid = (MID_BASE..MID_BASE + spec.mid_bytes).contains(&vaddr);
+                let in_big = (BIG_BASE..BIG_BASE + spec.big_bytes).contains(&vaddr);
+                assert!(
+                    in_hot || in_mid || in_big,
+                    "{}: vaddr {vaddr:#x} outside all regions",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pc_pools_are_disjoint_and_bounded() {
+        let spec = *app_by_name("mcf").unwrap();
+        let mut m = AppModel::new(spec, 1);
+        let mut pcs = std::collections::HashSet::new();
+        for _ in 0..100_000 {
+            match m.next_instr() {
+                Instr::Load { pc, .. } | Instr::Store { pc, .. } => {
+                    pcs.insert(pc);
+                }
+                _ => {}
+            }
+        }
+        // Bounded static footprint: ≤ 2 × (64 + 32 + 16 + 16) PCs.
+        assert!(pcs.len() <= 256, "{} distinct PCs", pcs.len());
+        // Load and store PCs must not collide (predictor indexes by PC).
+        for pc in &pcs {
+            let is_store_pc = *pc >= STORE_PC_OFFSET;
+            if is_store_pc {
+                assert!(pcs.contains(&(pc - STORE_PC_OFFSET)));
+            }
+        }
+    }
+
+    #[test]
+    fn gems_generates_almost_no_memory_traffic_beyond_hot() {
+        let spec = *app_by_name("GemsFDTD").unwrap();
+        let mut m = AppModel::new(spec, 1);
+        let mut beyond_hot = 0;
+        for _ in 0..100_000 {
+            match m.next_instr() {
+                Instr::Load { vaddr, .. } | Instr::Store { vaddr, .. } if vaddr >= HOT_BYTES => {
+                    beyond_hot += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(beyond_hot < 50, "GemsFDTD beyond-hot accesses: {beyond_hot}");
+    }
+
+    #[test]
+    fn label_matches_spec_name() {
+        let spec = *app_by_name("lbm").unwrap();
+        let m = AppModel::new(spec, 1);
+        assert_eq!(m.label(), "lbm");
+    }
+}

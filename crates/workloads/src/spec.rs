@@ -1,0 +1,339 @@
+//! Per-application parameter sets — one per row of the paper's Table II.
+//!
+//! Each [`AppSpec`] captures an application's *statistical shape*: how often
+//! it touches memory, how its accesses split between an L1-resident hot set,
+//! an L3-resident mid set (the writeback driver) and a beyond-L3 big set
+//! (the miss driver), how bursty its misses are (memory-level parallelism,
+//! which decides criticality), and its non-memory instruction latency mix
+//! (IPC shaping). The `paper_*` fields carry Table II's reference values for
+//! side-by-side reporting in the Table II reproduction.
+//!
+//! Calibration targets the paper's *classes* — high (WPKI+MPKI > 10),
+//! medium (1–10), low (< 1) write intensity — and the relative ordering
+//! within them; absolute values depend on the substrate and are reported in
+//! EXPERIMENTS.md.
+
+/// Access pattern of the big (beyond-L3) region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BigPattern {
+    /// Sequential lines, cyclic over the region (streaming kernels).
+    Stream,
+    /// Uniformly random lines (pointer-chasing / irregular kernels).
+    /// Dependence chains are not simulated; their effect — isolated,
+    /// ROB-blocking misses — is modelled by `burst = 1`.
+    Random,
+}
+
+/// Write-intensity class (paper §V.A: by WPKI + MPKI).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WriteIntensity {
+    /// WPKI + MPKI < 1.
+    Low,
+    /// 1 ≤ WPKI + MPKI ≤ 10.
+    Medium,
+    /// WPKI + MPKI > 10.
+    High,
+}
+
+/// Statistical model parameters for one application.
+#[derive(Clone, Copy, Debug)]
+pub struct AppSpec {
+    /// SPEC benchmark name.
+    pub name: &'static str,
+    /// Probability an instruction is a memory operation.
+    pub mem_frac: f64,
+    /// Memory-op weight of the mid (L3-resident) region; the hot region
+    /// takes `1 - w_mid - w_big`.
+    pub w_mid: f64,
+    /// Memory-op weight of the big (beyond-L3) region.
+    pub w_big: f64,
+    /// Mid-region footprint in bytes.
+    pub mid_bytes: u64,
+    /// Big-region footprint in bytes.
+    pub big_bytes: u64,
+    /// Fraction of hot-region accesses that are stores.
+    pub store_frac_hot: f64,
+    /// Probability a mid-region load is followed by a store to the same
+    /// line (read-modify-write; the writeback generator).
+    pub store_frac_mid: f64,
+    /// Same for big-region loads.
+    pub store_frac_big: f64,
+    /// Big-region access pattern.
+    pub big_pattern: BigPattern,
+    /// Consecutive big-region lines touched per burst: the MLP knob.
+    /// 1 = isolated (critical) misses; ≥ 8 = overlapped (non-critical).
+    pub burst: u32,
+    /// Fraction of big-region bursts that are long *scans* (length
+    /// `scan_burst`, drawn from a separate PC pool). Real irregular
+    /// programs (mcf, astar) interleave pointer chasing with array scans:
+    /// the chase PCs train critical, the scan PCs non-critical — the mix
+    /// behind the paper's ~50% non-critical fetched blocks (Figure 8).
+    pub scan_frac: f64,
+    /// Length of a scan burst in lines.
+    pub scan_burst: u32,
+    /// Fraction of non-memory instructions with long latency.
+    pub alu_long_frac: f64,
+    /// Latency of those long instructions, cycles.
+    pub alu_long_latency: u8,
+    /// Table II reference: writebacks per kilo-instruction.
+    pub paper_wpki: f64,
+    /// Table II reference: misses per kilo-instruction.
+    pub paper_mpki: f64,
+    /// Table II reference: L3 hit rate.
+    pub paper_hitrate: f64,
+    /// Table II reference: single-core IPC.
+    pub paper_ipc: f64,
+}
+
+impl AppSpec {
+    /// Write-intensity class from the paper's Table II values.
+    pub fn paper_intensity(&self) -> WriteIntensity {
+        classify(self.paper_wpki + self.paper_mpki)
+    }
+
+    /// Hot-region weight (`1 - w_mid - w_big`).
+    pub fn w_hot(&self) -> f64 {
+        1.0 - self.w_mid - self.w_big
+    }
+
+    /// Sanity-check the parameters.
+    ///
+    /// # Panics
+    /// Panics on out-of-range probabilities or empty regions.
+    pub fn validate(&self) {
+        assert!(self.mem_frac > 0.0 && self.mem_frac < 1.0, "{}", self.name);
+        assert!(self.w_mid >= 0.0 && self.w_big >= 0.0, "{}", self.name);
+        assert!(self.w_hot() > 0.0, "{}: hot weight must remain", self.name);
+        for f in [
+            self.store_frac_hot,
+            self.store_frac_mid,
+            self.store_frac_big,
+            self.alu_long_frac,
+        ] {
+            assert!((0.0..=1.0).contains(&f), "{}", self.name);
+        }
+        assert!(self.burst >= 1, "{}", self.name);
+        assert!((0.0..=1.0).contains(&self.scan_frac), "{}", self.name);
+        assert!(self.scan_burst >= 1, "{}", self.name);
+        assert!(self.big_bytes >= 64, "{}", self.name);
+        assert!(self.mid_bytes >= 64, "{}", self.name);
+    }
+}
+
+/// Classify a WPKI+MPKI sum (paper §V.A).
+pub fn classify(wpki_plus_mpki: f64) -> WriteIntensity {
+    if wpki_plus_mpki > 10.0 {
+        WriteIntensity::High
+    } else if wpki_plus_mpki >= 1.0 {
+        WriteIntensity::Medium
+    } else {
+        WriteIntensity::Low
+    }
+}
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// Shorthand constructor keeping the table readable.
+#[allow(clippy::too_many_arguments)]
+const fn app(
+    name: &'static str,
+    mem_frac: f64,
+    w_mid: f64,
+    w_big: f64,
+    mid_bytes: u64,
+    big_bytes: u64,
+    store_frac_mid: f64,
+    store_frac_big: f64,
+    big_pattern: BigPattern,
+    burst: u32,
+    alu_long_frac: f64,
+    alu_long_latency: u8,
+    paper: (f64, f64, f64, f64), // (wpki, mpki, hitrate, ipc)
+) -> AppSpec {
+    AppSpec {
+        name,
+        mem_frac,
+        w_mid,
+        w_big,
+        mid_bytes,
+        big_bytes,
+        store_frac_hot: 0.3,
+        store_frac_mid,
+        store_frac_big,
+        big_pattern,
+        burst,
+        scan_frac: 0.0,
+        scan_burst: 8,
+        alu_long_frac,
+        alu_long_latency,
+        paper_wpki: paper.0,
+        paper_mpki: paper.1,
+        paper_hitrate: paper.2,
+        paper_ipc: paper.3,
+    }
+}
+
+use BigPattern::{Random, Stream};
+
+/// Add a scan phase to an app (chase/scan PC mix; see `AppSpec::scan_frac`).
+const fn with_scans(mut a: AppSpec, scan_frac: f64, scan_burst: u32) -> AppSpec {
+    a.scan_frac = scan_frac;
+    a.scan_burst = scan_burst;
+    a
+}
+
+/// The 22 applications of Table II.
+pub const SPEC_TABLE: [AppSpec; 22] = [
+    // --- high write-intensive -------------------------------------------
+    // mcf: irregular pointer-heavy traversal; isolated misses, huge foot-
+    // print, heavy read-modify-write.
+    with_scans(
+        app("mcf", 0.35, 0.16, 0.10, 3 * MB, 64 * MB, 0.90, 0.80, Random, 1, 0.0, 1,
+            (68.67, 55.29, 0.20, 0.07)),
+        0.5, 48,
+    ),
+    // streamL: pure copy stream — every line loaded once and stored once.
+    app("streamL", 0.35, 0.0, 0.15, 1 * MB, 8 * MB, 0.0, 1.0, Stream, 32, 0.01, 60,
+        (36.25, 36.25, 0.00, 0.37)),
+    app("lbm", 0.35, 0.0, 0.125, 1 * MB, 8 * MB, 0.0, 1.0, Stream, 16, 0.0, 1,
+        (31.66, 31.46, 0.01, 0.53)),
+    app("zeusmp", 0.35, 0.012, 0.069, 1 * MB, 8 * MB, 0.5, 1.0, Stream, 16, 0.025, 60,
+        (18.57, 17.13, 0.08, 0.54)),
+    app("bwaves", 0.35, 0.010, 0.051, 1 * MB, 8 * MB, 0.5, 1.0, Stream, 16, 0.02, 60,
+        (14.01, 12.91, 0.08, 0.59)),
+    app("libquantum", 0.35, 0.0, 0.041, 1 * MB, 8 * MB, 0.0, 1.0, Stream, 32, 0.04, 60,
+        (11.67, 11.64, 0.00, 0.34)),
+    app("milc", 0.35, 0.0, 0.037, 1 * MB, 8 * MB, 0.0, 1.0, Stream, 8, 0.025, 60,
+        (11.31, 11.28, 0.00, 0.71)),
+    // omnetpp / xalancbmk: discrete-event / XML churn — the working set
+    // fits the L3 slice (high hit rate) but writes torrentially.
+    app("omnetpp", 0.35, 0.100, 0.0018, 1536 * KB, 64 * MB, 0.50, 0.5, Random, 1, 0.0, 1,
+        (16.22, 0.61, 0.96, 0.78)),
+    app("xalancbmk", 0.35, 0.081, 0.0022, 1536 * KB, 64 * MB, 0.50, 0.5, Random, 1, 0.0, 1,
+        (13.17, 0.76, 0.94, 0.89)),
+    // --- medium ----------------------------------------------------------
+    app("leslie3d", 0.32, 0.004, 0.016, 1 * MB, 8 * MB, 0.5, 1.0, Stream, 8, 0.008, 60,
+        (5.24, 4.86, 0.07, 1.33)),
+    with_scans(
+        app("bzip2", 0.30, 0.030, 0.0023, 1536 * KB, 48 * MB, 0.50, 0.4, Random, 2, 0.02, 60,
+            (2.89, 0.69, 0.76, 1.63)),
+        0.6, 8,
+    ),
+    app("gromacs", 0.30, 0.015, 0.0020, 1 * MB, 32 * MB, 0.45, 0.4, Random, 2, 0.025, 60,
+        (1.85, 0.61, 0.67, 1.61)),
+    app("hmmer", 0.30, 0.020, 0.0004, 1 * MB, 32 * MB, 0.50, 0.4, Random, 2, 0.008, 60,
+        (2.20, 0.13, 0.94, 2.61)),
+    app("soplex", 0.30, 0.012, 0.0008, 1536 * KB, 32 * MB, 0.50, 0.4, Random, 1, 0.05, 60,
+        (1.27, 0.25, 0.80, 0.94)),
+    app("h264ref", 0.30, 0.010, 0.0003, 1 * MB, 32 * MB, 0.50, 0.4, Random, 2, 0.015, 60,
+        (1.09, 0.08, 0.93, 2.00)),
+    // --- low --------------------------------------------------------------
+    app("sjeng", 0.28, 0.004, 0.0010, 1 * MB, 32 * MB, 0.30, 0.3, Random, 1, 0.04, 60,
+        (0.52, 0.32, 0.41, 1.16)),
+    app("sphinx3", 0.28, 0.0002, 0.0010, 1 * MB, 8 * MB, 0.3, 1.0, Stream, 4, 0.015, 60,
+        (0.30, 0.30, 0.06, 1.96)),
+    app("dealII", 0.28, 0.003, 0.0004, 1 * MB, 32 * MB, 0.50, 0.4, Random, 2, 0.012, 60,
+        (0.33, 0.12, 0.65, 2.27)),
+    with_scans(
+        app("astar", 0.28, 0.0025, 0.0004, 1 * MB, 32 * MB, 0.40, 0.4, Random, 1, 0.015, 60,
+            (0.24, 0.12, 0.54, 2.08)),
+        0.5, 8,
+    ),
+    app("povray", 0.25, 0.002, 0.0001, 1 * MB, 32 * MB, 0.35, 0.3, Random, 1, 0.025, 60,
+        (0.18, 0.04, 0.79, 1.57)),
+    app("namd", 0.25, 0.0005, 0.00015, 1 * MB, 32 * MB, 0.30, 0.3, Random, 2, 0.012, 60,
+        (0.04, 0.05, 0.21, 2.34)),
+    app("GemsFDTD", 0.25, 0.0, 0.00003, 1 * MB, 8 * MB, 0.0, 0.3, Stream, 4, 0.02, 60,
+        (0.00, 0.01, 0.00, 1.81)),
+];
+
+/// Look up an application by name.
+pub fn app_by_name(name: &str) -> Option<&'static AppSpec> {
+    SPEC_TABLE.iter().find(|a| a.name == name)
+}
+
+/// The eight applications of the paper's Figures 7–9 predictor study.
+pub const PREDICTOR_STUDY_APPS: [&str; 8] = [
+    "mcf", "GemsFDTD", "lbm", "milc", "astar", "bwaves", "bzip2", "leslie3d",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_22_apps_with_unique_names() {
+        assert_eq!(SPEC_TABLE.len(), 22);
+        let mut names: Vec<_> = SPEC_TABLE.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 22, "duplicate app names");
+    }
+
+    #[test]
+    fn all_specs_validate() {
+        for a in &SPEC_TABLE {
+            a.validate();
+        }
+    }
+
+    #[test]
+    fn paper_classes_match_section_5a() {
+        // §V.A: sum > 10 high, 1..10 medium, < 1 low.
+        use WriteIntensity::*;
+        assert_eq!(app_by_name("mcf").unwrap().paper_intensity(), High);
+        assert_eq!(app_by_name("milc").unwrap().paper_intensity(), High);
+        assert_eq!(app_by_name("omnetpp").unwrap().paper_intensity(), High);
+        assert_eq!(app_by_name("leslie3d").unwrap().paper_intensity(), High);
+        // leslie3d: 5.24+4.86 = 10.1 > 10 — it straddles the boundary; the
+        // paper groups it with medium in prose but its sum is high. Check
+        // the arithmetic class here.
+        assert_eq!(classify(10.1), High);
+        assert_eq!(app_by_name("bzip2").unwrap().paper_intensity(), Medium);
+        assert_eq!(app_by_name("povray").unwrap().paper_intensity(), Low);
+        assert_eq!(app_by_name("GemsFDTD").unwrap().paper_intensity(), Low);
+    }
+
+    #[test]
+    fn intensity_counts_are_plausible() {
+        let high = SPEC_TABLE
+            .iter()
+            .filter(|a| a.paper_intensity() == WriteIntensity::High)
+            .count();
+        let low = SPEC_TABLE
+            .iter()
+            .filter(|a| a.paper_intensity() == WriteIntensity::Low)
+            .count();
+        assert!(high >= 8, "Table II has 9-10 high apps, found {high}");
+        assert!(low >= 6, "Table II has ~7 low apps, found {low}");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(app_by_name("mcf").is_some());
+        assert!(app_by_name("nonexistent").is_none());
+        for n in PREDICTOR_STUDY_APPS {
+            assert!(app_by_name(n).is_some(), "{n} missing from table");
+        }
+    }
+
+    #[test]
+    fn streaming_apps_have_high_bursts_and_chasers_do_not() {
+        assert!(app_by_name("streamL").unwrap().burst >= 16);
+        assert!(app_by_name("libquantum").unwrap().burst >= 16);
+        assert_eq!(app_by_name("mcf").unwrap().burst, 1);
+        assert_eq!(app_by_name("omnetpp").unwrap().burst, 1);
+    }
+
+    #[test]
+    fn hot_weight_dominates_every_app() {
+        for a in &SPEC_TABLE {
+            assert!(
+                a.w_hot() > 0.4,
+                "{}: a large share of accesses should hit the hot set",
+                a.name
+            );
+        }
+    }
+}

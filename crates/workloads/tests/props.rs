@@ -1,0 +1,74 @@
+//! Property-based tests for the synthetic application models.
+
+use proptest::prelude::*;
+
+use cmp_sim::instr::{Instr, InstrSource};
+use workloads::{workload_mix, AppModel, SPEC_TABLE};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Determinism: any (app, seed) pair regenerates the identical stream.
+    #[test]
+    fn any_app_any_seed_deterministic(app_idx in 0usize..22, seed in any::<u64>()) {
+        let spec = SPEC_TABLE[app_idx];
+        let mut a = AppModel::new(spec, seed);
+        let mut b = AppModel::new(spec, seed);
+        for _ in 0..2_000 {
+            prop_assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    /// Addresses always fall inside the app's declared regions, and loads
+    /// are word-addressable within the core's 256 MB slice.
+    #[test]
+    fn addresses_bounded(app_idx in 0usize..22, seed in any::<u64>()) {
+        let spec = SPEC_TABLE[app_idx];
+        let mut m = AppModel::new(spec, seed);
+        for _ in 0..5_000 {
+            match m.next_instr() {
+                Instr::Load { vaddr, .. } | Instr::Store { vaddr, .. } => {
+                    prop_assert!(vaddr < 1 << 28, "vaddr {vaddr:#x} outside core slice");
+                }
+                Instr::Alu { latency } => prop_assert!(latency >= 1),
+            }
+        }
+    }
+
+    /// The memory-op fraction stays within a sane band of the spec for
+    /// every app (the pending read-modify-write stores replace, not add,
+    /// memory slots).
+    #[test]
+    fn mem_fraction_banded(app_idx in 0usize..22) {
+        let spec = SPEC_TABLE[app_idx];
+        let mut m = AppModel::new(spec, 7);
+        let n = 60_000;
+        let mut mem = 0usize;
+        for _ in 0..n {
+            if m.next_instr().is_mem() {
+                mem += 1;
+            }
+        }
+        let frac = mem as f64 / n as f64;
+        prop_assert!(
+            (frac - spec.mem_frac).abs() < 0.05,
+            "{}: measured {frac:.3} vs spec {:.3}",
+            spec.name,
+            spec.mem_frac
+        );
+    }
+
+    /// Workload mixes are deterministic and structurally sound for any id.
+    #[test]
+    fn mixes_sound(id in 1usize..=10) {
+        let a = workload_mix(id, 16);
+        let b = workload_mix(id, 16);
+        let names_a: Vec<_> = a.apps.iter().map(|s| s.name).collect();
+        let names_b: Vec<_> = b.apps.iter().map(|s| s.name).collect();
+        prop_assert_eq!(names_a, names_b);
+        prop_assert_eq!(a.apps.len(), 16);
+        let (h, m, l) = a.intensity_mix();
+        prop_assert_eq!(h + m + l, 16);
+        prop_assert!(h >= 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: simulate the paper's 16-core machine running workload mix
+//! WL1 under Re-NUCA, and print the numbers the paper cares about —
+//! throughput, per-bank write distribution and projected bank lifetimes.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use renuca::prelude::*;
+
+fn main() {
+    // The paper's Table I machine: 16 OoO cores @ 2.4 GHz, 32 KB L1 /
+    // 256 KB L2 per core, 16 x 2 MB ReRAM L3 banks on a 4x4 mesh, DDR3.
+    let cfg = SystemConfig::default();
+
+    // WL1: a deterministic 16-application mix of high/medium/low
+    // write-intensive SPEC-like programs.
+    let wl = workload_mix(1, cfg.n_cores);
+    println!("Workload WL1:");
+    for (core, app) in wl.apps.iter().enumerate() {
+        println!("  core {core:2}  {}", app.name);
+    }
+
+    // Build the Re-NUCA system: hybrid placement + per-core CPTs.
+    let scheme = Scheme::ReNuca;
+    let mut sys = System::new(
+        cfg,
+        scheme.build_policy(&cfg),
+        wl.build_sources(),
+        scheme.build_predictors(&cfg, CptConfig::default()),
+    );
+
+    // Warm the caches (checkpoint-style prewarm + timed warm-up), then
+    // measure.
+    sys.prewarm();
+    sys.warmup(100_000);
+    sys.run(100_000);
+    let result = sys.result();
+
+    println!("\nScheme: {}", result.scheme);
+    println!("Measured window: {} cycles", result.cycles);
+    println!("System throughput: {:.2} IPC", result.total_ipc());
+    println!("Average MPKI: {:.2}, average WPKI: {:.2}", result.avg_mpki(), result.avg_wpki());
+
+    println!("\nPer-bank L3 writes (the quantity Re-NUCA wear-levels):");
+    for (bank, writes) in result.bank_writes.iter().enumerate() {
+        println!("  bank {bank:2}  {writes:8} writes");
+    }
+
+    // Project lifetimes at the paper's endurance (1e11 writes/line).
+    let model = LifetimeModel::default();
+    let lifetimes = model.all_bank_lifetimes(&result.wear, result.cycles);
+    let min = lifetimes.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("\nProjected bank lifetimes (years): min {min:.1}");
+    println!(
+        "Wear variation (CV): {:.3}",
+        renuca::wear::lifetime_variation(&lifetimes)
+    );
+}

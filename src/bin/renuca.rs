@@ -1,0 +1,144 @@
+//! `renuca` — command-line front end to the simulator.
+//!
+//! ```text
+//! renuca run   [--scheme S] [--workload N] [--warmup I] [--measure I]
+//!              [--l2-128k] [--l3-1m] [--rob-168] [--no-prefetch]
+//! renuca apps                       # Table II style characterization
+//! renuca schemes [--workload N] ... # compare all five schemes on one mix
+//! ```
+//!
+//! A thin, dependency-free argument parser: this binary exists so users can
+//! poke at configurations without writing Rust.
+
+use renuca::prelude::*;
+use renuca::wear::lifetime_variation;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  renuca run     [--scheme snuca|rnuca|private|naive|renuca] [--workload 1..10]\n                 [--warmup N] [--measure N] [--l2-128k] [--l3-1m] [--rob-168] [--no-prefetch]\n  renuca apps    [--measure N]\n  renuca schemes [--workload 1..10] [--warmup N] [--measure N]"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    scheme: Scheme,
+    workload: usize,
+    budget: Budget,
+    cfg: SystemConfig,
+}
+
+fn parse(args: &[String]) -> Args {
+    let mut out = Args {
+        scheme: Scheme::ReNuca,
+        workload: 1,
+        budget: Budget::from_env(),
+        cfg: SystemConfig::default(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            }).clone()
+        };
+        match a.as_str() {
+            "--scheme" => {
+                out.scheme = match value("--scheme").to_lowercase().as_str() {
+                    "snuca" | "s-nuca" => Scheme::SNuca,
+                    "rnuca" | "r-nuca" => Scheme::RNuca,
+                    "private" => Scheme::Private,
+                    "naive" => Scheme::Naive,
+                    "renuca" | "re-nuca" => Scheme::ReNuca,
+                    other => {
+                        eprintln!("unknown scheme {other}");
+                        usage()
+                    }
+                }
+            }
+            "--workload" => {
+                out.workload = value("--workload").parse().unwrap_or_else(|_| usage())
+            }
+            "--warmup" => out.budget.warmup = value("--warmup").parse().unwrap_or_else(|_| usage()),
+            "--measure" => {
+                out.budget.measure = value("--measure").parse().unwrap_or_else(|_| usage())
+            }
+            "--l2-128k" => out.cfg = out.cfg.with_l2_128k(),
+            "--l3-1m" => out.cfg = out.cfg.with_l3_1m(),
+            "--rob-168" => out.cfg = out.cfg.with_rob_168(),
+            "--no-prefetch" => out.cfg.prefetch.enabled = false,
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    out
+}
+
+fn run_one(scheme: Scheme, workload: usize, cfg: SystemConfig, budget: Budget) -> SimResult {
+    let wl = workload_mix(workload, cfg.n_cores);
+    let mut sys = System::new(
+        cfg,
+        scheme.build_policy(&cfg),
+        wl.build_sources(),
+        scheme.build_predictors(&cfg, CptConfig::default()),
+    );
+    sys.prewarm();
+    sys.warmup(budget.warmup);
+    sys.run(budget.measure);
+    sys.result()
+}
+
+fn print_result(r: &SimResult) {
+    let model = LifetimeModel::default();
+    let lifetimes = model.all_bank_lifetimes(&r.wear, r.cycles);
+    let min = lifetimes.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{:10}  IPC {:6.2}   min-lifetime {:6.2}y   wear-CV {:5.3}   L3 writes {}",
+        r.scheme,
+        r.total_ipc(),
+        min,
+        lifetime_variation(&lifetimes),
+        r.wear.total_writes()
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else { usage() };
+    match cmd.as_str() {
+        "run" => {
+            let a = parse(rest);
+            println!(
+                "scheme={} workload=WL{} warmup={} measure={}",
+                a.scheme, a.workload, a.budget.warmup, a.budget.measure
+            );
+            let r = run_one(a.scheme, a.workload, a.cfg, a.budget);
+            print_result(&r);
+            for c in &r.per_core {
+                println!(
+                    "  core {:>2} {:12} ipc {:5.2}  mpki {:7.2}  wpki {:7.2}  l3hit {:4.2}",
+                    c.label, "", c.ipc, c.mpki, c.wpki, c.l3_hit_rate
+                );
+            }
+        }
+        "apps" => {
+            let a = parse(rest);
+            let rows = renuca::experiments::figures::table2::run(a.budget);
+            println!(
+                "{}",
+                renuca::experiments::figures::table2::format_table2(&rows)
+            );
+        }
+        "schemes" => {
+            let a = parse(rest);
+            println!("workload WL{}:", a.workload);
+            for scheme in Scheme::ALL {
+                let r = run_one(scheme, a.workload, a.cfg, a.budget);
+                print_result(&r);
+            }
+        }
+        _ => usage(),
+    }
+}

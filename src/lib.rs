@@ -1,0 +1,61 @@
+//! **renuca** — a full reproduction of *"Re-NUCA: A Practical NUCA
+//! Architecture for ReRAM based last-level caches"* (Kotra, Arjomand,
+//! Guttman, Kandemir, Das — IEEE IPDPS 2016).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core_policies`] (`renuca-core`) — the paper's contribution: the
+//!   Re-NUCA hybrid placement, the S-NUCA/R-NUCA/Private/Naive baselines,
+//!   the Criticality Predictor Table and the MBV-enhanced TLB;
+//! * [`sim`] (`cmp-sim`) — the from-scratch CMP substrate: OoO cores with
+//!   ROBs, three-level cache hierarchy, MESI directory, 4×4 mesh NoC,
+//!   DDR3-style DRAM;
+//! * [`workloads`] — synthetic SPEC CPU2006-like application models and the
+//!   WL1–WL10 multiprogrammed mixes;
+//! * [`wear`] (`wear-model`) — ReRAM endurance accounting and
+//!   lifetime-in-years extrapolation;
+//! * [`experiments`] — one module per paper table/figure;
+//! * [`stats`] (`sim-stats`) — counters, histograms, summaries, rendering.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use renuca::prelude::*;
+//!
+//! // A small 4-core machine running workload mix WL1 under Re-NUCA.
+//! let cfg = SystemConfig::small(4);
+//! let wl = workload_mix(1, cfg.n_cores);
+//! let mut sys = System::new(
+//!     cfg,
+//!     Scheme::ReNuca.build_policy(&cfg),
+//!     wl.build_sources(),
+//!     Scheme::ReNuca.build_predictors(&cfg, CptConfig::default()),
+//! );
+//! sys.prewarm();
+//! sys.warmup(2_000);
+//! sys.run(5_000);
+//! let result = sys.result();
+//! assert_eq!(result.scheme, "Re-NUCA");
+//! assert!(result.total_ipc() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cmp_sim as sim;
+pub use experiments;
+pub use renuca_core as core_policies;
+pub use sim_stats as stats;
+pub use wear_model as wear;
+pub use workloads;
+
+/// The most commonly used items, for `use renuca::prelude::*`.
+pub mod prelude {
+    pub use cmp_sim::{
+        config::SystemConfig, instr::Instr, instr::InstrSource, system::SimResult,
+        system::System,
+    };
+    pub use experiments::{Budget, SchemeStudy};
+    pub use renuca_core::{Cpt, CptConfig, EnhancedTlb, ReNuca, SNuca, Scheme};
+    pub use wear_model::{EnduranceSpec, IntraBankWear, LifetimeModel, WearTracker};
+    pub use workloads::{app_by_name, workload_mix, AppModel, WorkloadMix, SPEC_TABLE};
+}

@@ -1,0 +1,164 @@
+//! Property-based tests over the core data structures, spanning crates.
+
+use proptest::prelude::*;
+
+use renuca::core_policies::{Cpt, CptConfig, ReNuca, SNuca, Scheme};
+use renuca::sim::cache::{LookupResult, SetAssocCache};
+use renuca::sim::config::{CacheGeometry, SystemConfig};
+use renuca::sim::placement::{AccessMeta, CriticalityPredictor, LlcAccessKind, LlcPlacement};
+use renuca::sim::reserve::{gc, reserve, Calendar};
+use renuca::sim::types::{page_of_line, phys_addr};
+use renuca::wear::WearTracker;
+
+fn meta_for(line: u64) -> AccessMeta {
+    AccessMeta {
+        core: 0,
+        line,
+        page: page_of_line(line),
+        pc: 1,
+        kind: LlcAccessKind::Demand,
+        predicted_critical: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A cache never exceeds its capacity, never duplicates a line, and a
+    /// filled line is immediately found until evicted.
+    #[test]
+    fn cache_capacity_and_uniqueness(ops in prop::collection::vec((0u64..512, any::<bool>()), 1..400)) {
+        let geo = CacheGeometry { size_bytes: 4096, assoc: 4, latency: 1 }; // 64 lines
+        let mut cache = SetAssocCache::new(geo, false);
+        let mut resident: std::collections::HashSet<u64> = Default::default();
+        for (line, is_write) in ops {
+            match cache.access(line, is_write) {
+                LookupResult::Hit { .. } => {
+                    prop_assert!(resident.contains(&line), "hit on non-resident {line}");
+                }
+                LookupResult::Miss => {
+                    let out = cache.fill(line, is_write);
+                    resident.insert(line);
+                    if let Some(ev) = out.evicted {
+                        prop_assert!(resident.remove(&ev.line), "evicted ghost {:#x}", ev.line);
+                    }
+                    let found = matches!(cache.probe(line), LookupResult::Hit { .. });
+                    prop_assert!(found, "freshly filled line not found");
+                }
+            }
+            prop_assert!(cache.occupancy() <= 64);
+            prop_assert_eq!(cache.occupancy(), resident.len());
+        }
+    }
+
+    /// Calendar reservations never overlap, are granted at or after the
+    /// request, and GC never disturbs future reservations.
+    #[test]
+    fn calendar_reservations_sound(reqs in prop::collection::vec((0u64..5_000, 1u64..50), 1..300)) {
+        let mut cal = Calendar::new();
+        for (now, hold) in reqs {
+            let t = reserve(&mut cal, now, hold);
+            prop_assert!(t >= now);
+            for w in cal.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap {:?} {:?}", w[0], w[1]);
+            }
+        }
+        let before: u64 = cal.iter().map(|&(s, e)| e - s).sum();
+        gc(&mut cal, 2_500);
+        // GC only removes fully-expired intervals.
+        for &(_, end) in cal.iter() {
+            prop_assert!(end >= 2_500);
+        }
+        let after: u64 = cal.iter().map(|&(s, e)| e - s).sum();
+        prop_assert!(after <= before);
+    }
+
+    /// Every placement policy maps every line to a valid bank, and static
+    /// schemes agree between lookup and fill.
+    #[test]
+    fn placements_stay_in_range(lines in prop::collection::vec(any::<u64>(), 1..100)) {
+        let cfg = SystemConfig::small(16);
+        for scheme in Scheme::ALL {
+            let mut policy = scheme.build_policy(&cfg);
+            for &raw in &lines {
+                let line = raw >> 8; // keep owner bits in range after masking
+                let m = meta_for(line);
+                let lb = policy.lookup_bank(&m);
+                let fb = policy.fill_bank(&m);
+                prop_assert!(lb < cfg.n_banks, "{}: lookup {lb}", scheme.name());
+                prop_assert!(fb < cfg.n_banks, "{}: fill {fb}", scheme.name());
+                if matches!(scheme, Scheme::SNuca | Scheme::RNuca | Scheme::Private) {
+                    prop_assert_eq!(lb, fb, "static scheme must agree");
+                }
+            }
+        }
+    }
+
+    /// Re-NUCA routing is exactly determined by the MBV bit: after a fill,
+    /// lookups go to the fill bank; after eviction they return to S-NUCA.
+    #[test]
+    fn renuca_mbv_routing_roundtrip(
+        offsets in prop::collection::vec(0u64..1_000_000, 1..50),
+        critical in prop::collection::vec(any::<bool>(), 50),
+    ) {
+        let mut renuca = ReNuca::new(4, 4);
+        let snuca = SNuca::new(16);
+        for (i, &off) in offsets.iter().enumerate() {
+            let line = phys_addr(i % 16, off * 64) >> 6;
+            let is_crit = critical[i % critical.len()];
+            let mut m = meta_for(line);
+            m.predicted_critical = is_crit;
+            let fill = renuca.fill_bank(&m);
+            renuca.on_fill(&m, fill);
+            prop_assert_eq!(renuca.lookup_bank(&m), fill, "resident routing");
+            renuca.on_evict(line, fill);
+            prop_assert_eq!(
+                renuca.lookup_bank(&m),
+                snuca.bank_of(line),
+                "post-eviction routing must be S-NUCA"
+            );
+        }
+    }
+
+    /// The CPT's criticality set shrinks (weakly) as the threshold rises.
+    #[test]
+    fn cpt_threshold_monotonicity(
+        block_pattern in prop::collection::vec(any::<bool>(), 20..200),
+    ) {
+        let pc = 0x40;
+        let mut verdicts = Vec::new();
+        for &x in &[3.0, 25.0, 75.0] {
+            let mut cpt = Cpt::new(CptConfig::with_threshold(x));
+            for &blocked in &block_pattern {
+                cpt.predict(pc);
+                if blocked {
+                    cpt.on_rob_block(pc);
+                }
+                cpt.on_load_commit(pc, blocked);
+            }
+            verdicts.push(cpt.predict(pc));
+        }
+        // critical@75% implies critical@25% implies critical@3%.
+        prop_assert!(!verdicts[2] || verdicts[1]);
+        prop_assert!(!verdicts[1] || verdicts[0]);
+    }
+
+    /// Wear-tracker totals always equal the sum over slots, and merging is
+    /// additive.
+    #[test]
+    fn wear_totals_consistent(writes in prop::collection::vec((0usize..4, 0usize..8), 0..300)) {
+        let mut a = WearTracker::new(4, 8);
+        let mut b = WearTracker::new(4, 8);
+        for (i, &(bank, slot)) in writes.iter().enumerate() {
+            if i % 2 == 0 { a.record_write(bank, slot) } else { b.record_write(bank, slot) }
+        }
+        let total = a.total_writes() + b.total_writes();
+        prop_assert_eq!(total as usize, writes.len());
+        a.merge(&b);
+        prop_assert_eq!(a.total_writes() as usize, writes.len());
+        for bank in 0..4 {
+            let slot_sum: u64 = (0..8).map(|s| a.slot_writes(bank, s)).sum();
+            prop_assert_eq!(slot_sum, a.bank_writes(bank));
+        }
+    }
+}
