@@ -1,8 +1,11 @@
 //! Runs the six design-choice ablations (DESIGN.md §7) at bench budget.
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use experiments::figures::ablations;
 
 fn main() {
-    header("Ablations — threshold, CPT capacity, intra-bank leveling, Naive latency, MBV, prefetcher");
-    println!("{}", ablations::run_all(bench_budget()));
+    header(
+        "Ablations — threshold, CPT capacity, intra-bank leveling, Naive latency, MBV, prefetcher",
+    );
+    let out = timed("ablations", || ablations::run_all(bench_budget()));
+    println!("{out}");
 }

@@ -1,10 +1,12 @@
 //! Capacity-retention curves per scheme (extension of §III.B).
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use cmp_sim::SystemConfig;
 use experiments::figures::{capacity, lifetime};
 
 fn main() {
     header("Capacity retention over time");
-    let study = lifetime::run("Actual Results", SystemConfig::default(), bench_budget());
+    let study = timed("capacity_retention", || {
+        lifetime::run("Actual Results", SystemConfig::default(), bench_budget())
+    });
     println!("{}", capacity::format_retention(&study, 16.0, 9));
 }

@@ -1,11 +1,13 @@
 //! Regenerates Figure 11: IPC improvement over S-NUCA per workload.
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use cmp_sim::SystemConfig;
 use experiments::figures::lifetime;
 
 fn main() {
     header("Figure 11 — IPC improvements over S-NUCA");
-    let study = lifetime::run("Actual Results", SystemConfig::default(), bench_budget());
+    let study = timed("fig11_ipc", || {
+        lifetime::run("Actual Results", SystemConfig::default(), bench_budget())
+    });
     println!("{}", lifetime::format_fig11(&study));
     println!("{}", lifetime::headline(&study));
 }

@@ -1,12 +1,14 @@
 //! Regenerates Figure 12: per-bank lifetimes for all five schemes —
 //! the paper's headline wear-leveling result.
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use cmp_sim::SystemConfig;
 use experiments::figures::lifetime;
 
 fn main() {
     header("Figure 12 — Re-NUCA wear-leveling");
-    let study = lifetime::run("Actual Results", SystemConfig::default(), bench_budget());
+    let study = timed("fig12_renuca_wearout", || {
+        lifetime::run("Actual Results", SystemConfig::default(), bench_budget())
+    });
     println!("{}", lifetime::format_fig12(&study));
     println!("{}", lifetime::headline(&study));
 }

@@ -1,11 +1,13 @@
 //! Regenerates Figures 13/14 — L2 = 128 KB sensitivity.
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use experiments::figures::sensitivity::{self, Sensitivity};
 
 fn main() {
     header("Figures 13/14 — L2 = 128 KB sensitivity");
     let which = Sensitivity::L2Small;
-    let study = sensitivity::run(which, bench_budget());
+    let study = timed("fig13_14_l2_sensitivity", || {
+        sensitivity::run(which, bench_budget())
+    });
     println!("{}", sensitivity::format_wear(which, &study));
     println!("{}", sensitivity::format_ipc(which, &study));
 }

@@ -1,11 +1,13 @@
 //! Regenerates Figures 15/16 — L3 bank = 1 MB sensitivity.
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use experiments::figures::sensitivity::{self, Sensitivity};
 
 fn main() {
     header("Figures 15/16 — L3 bank = 1 MB sensitivity");
     let which = Sensitivity::L3Small;
-    let study = sensitivity::run(which, bench_budget());
+    let study = timed("fig15_16_l3_sensitivity", || {
+        sensitivity::run(which, bench_budget())
+    });
     println!("{}", sensitivity::format_wear(which, &study));
     println!("{}", sensitivity::format_ipc(which, &study));
 }

@@ -1,11 +1,13 @@
 //! Regenerates Figures 17/18 — ROB = 168 sensitivity.
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use experiments::figures::sensitivity::{self, Sensitivity};
 
 fn main() {
     header("Figures 17/18 — ROB = 168 sensitivity");
     let which = Sensitivity::RobLarge;
-    let study = sensitivity::run(which, bench_budget());
+    let study = timed("fig17_18_rob_sensitivity", || {
+        sensitivity::run(which, bench_budget())
+    });
     println!("{}", sensitivity::format_wear(which, &study));
     println!("{}", sensitivity::format_ipc(which, &study));
 }

@@ -1,9 +1,9 @@
 //! Regenerates Figure 2: WPKI+MPKI per application.
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use experiments::figures::table2;
 
 fn main() {
     header("Figure 2 — WPKI+MPKI per application");
-    let rows = table2::run(bench_budget());
+    let rows = timed("fig2_wpki_mpki", || table2::run(bench_budget()));
     println!("{}", table2::format_fig2(&rows));
 }

@@ -1,12 +1,14 @@
 //! Regenerates Figure 3: baseline per-bank lifetimes (motivation study),
 //! plus Figure 4b's trade-off table from the same runs.
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use cmp_sim::SystemConfig;
 use experiments::figures::lifetime;
 
 fn main() {
     header("Figure 3 — baseline per-bank lifetimes (and Figure 4b)");
-    let study = lifetime::run("Actual Results", SystemConfig::default(), bench_budget());
+    let study = timed("fig3_lifetime_motivation", || {
+        lifetime::run("Actual Results", SystemConfig::default(), bench_budget())
+    });
     println!("{}", lifetime::format_fig3(&study));
     println!("{}", lifetime::format_fig4b(&study));
 }

@@ -1,10 +1,10 @@
 //! Regenerates Figure 5: % of loads that never block the ROB head.
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use experiments::figures::criticality;
 
 fn main() {
     header("Figure 5 — non-critical loads");
-    let rows = criticality::run(bench_budget());
+    let rows = timed("fig5_rob_stall", || criticality::run(bench_budget()));
     println!("{}", criticality::format_fig5(&rows));
     println!("Average: {:.1}% (paper: >80%)", criticality::average(&rows));
 }

@@ -1,10 +1,12 @@
 //! Regenerates Figure 7 — criticality prediction accuracy (threshold sweep).
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use experiments::figures::predictor_study;
 use renuca_core::CptConfig;
 
 fn main() {
     header("Figure 7 — criticality prediction accuracy");
-    let study = predictor_study::run(bench_budget(), &CptConfig::THRESHOLD_SWEEP);
+    let study = timed("fig7_cpt_accuracy", || {
+        predictor_study::run(bench_budget(), &CptConfig::THRESHOLD_SWEEP)
+    });
     println!("{}", predictor_study::format_fig7(&study));
 }

@@ -1,10 +1,12 @@
 //! Regenerates Figure 8 — non-critical fetched blocks (threshold sweep).
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use experiments::figures::predictor_study;
 use renuca_core::CptConfig;
 
 fn main() {
     header("Figure 8 — non-critical fetched blocks");
-    let study = predictor_study::run(bench_budget(), &CptConfig::THRESHOLD_SWEEP);
+    let study = timed("fig8_noncritical_blocks", || {
+        predictor_study::run(bench_budget(), &CptConfig::THRESHOLD_SWEEP)
+    });
     println!("{}", predictor_study::format_fig8(&study));
 }

@@ -1,10 +1,12 @@
 //! Regenerates Figure 9 — writes to non-critical blocks (threshold sweep).
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use experiments::figures::predictor_study;
 use renuca_core::CptConfig;
 
 fn main() {
     header("Figure 9 — writes to non-critical blocks");
-    let study = predictor_study::run(bench_budget(), &CptConfig::THRESHOLD_SWEEP);
+    let study = timed("fig9_noncritical_writes", || {
+        predictor_study::run(bench_budget(), &CptConfig::THRESHOLD_SWEEP)
+    });
     println!("{}", predictor_study::format_fig9(&study));
 }

@@ -1,12 +1,13 @@
-//! Criterion micro-benchmarks of the hot substrate structures.
+//! Micro-benchmarks of the hot substrate structures, on the in-tree
+//! harness.
 //!
 //! These track the simulator's own performance (a regression here slows
-//! every experiment); they are not paper results.
+//! every experiment); they are not paper results. Each case prints one
+//! JSON line with per-iteration min/mean/median/p95 nanoseconds.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 
+use bench::{bench, bench_with_setup};
 use cmp_sim::cache::SetAssocCache;
 use cmp_sim::config::{CacheGeometry, NocConfig, SystemConfig};
 use cmp_sim::dram::Dram;
@@ -19,137 +20,132 @@ use renuca_core::{Cpt, CptConfig, Scheme};
 use wear_model::WearTracker;
 use workloads::{workload_mix, AppModel};
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     let geo = CacheGeometry {
         size_bytes: 2 * 1024 * 1024,
         assoc: 16,
         latency: 100,
     };
-    c.bench_function("cache/l3_bank_access_hit", |b| {
+    {
         let mut cache = SetAssocCache::new(geo, true);
         for line in 0..1024u64 {
             cache.fill(line, false);
         }
         let mut line = 0u64;
-        b.iter(|| {
+        bench("cache/l3_bank_access_hit", move || {
             line = (line + 1) & 1023;
             black_box(cache.access(line, false))
-        });
-    });
-    c.bench_function("cache/l3_bank_fill_evict", |b| {
+        })
+        .report();
+    }
+    {
         let mut cache = SetAssocCache::new(geo, true);
         let mut line = 0u64;
-        b.iter(|| {
+        bench("cache/l3_bank_fill_evict", move || {
             line += 1;
             black_box(cache.fill(line, false))
-        });
-    });
+        })
+        .report();
+    }
 }
 
-fn bench_cpt(c: &mut Criterion) {
-    c.bench_function("cpt/predict_trained", |b| {
-        let mut cpt = Cpt::new(CptConfig::default());
-        for pc in 0..512u32 {
-            cpt.on_load_commit(pc * 4, pc % 3 == 0);
-        }
-        let mut pc = 0u32;
-        b.iter(|| {
-            pc = (pc + 4) & 2047;
-            black_box(cpt.predict(pc))
-        });
-    });
+fn bench_cpt() {
+    let mut cpt = Cpt::new(CptConfig::default());
+    for pc in 0..512u32 {
+        cpt.on_load_commit(pc * 4, pc % 3 == 0);
+    }
+    let mut pc = 0u32;
+    bench("cpt/predict_trained", move || {
+        pc = (pc + 4) & 2047;
+        black_box(cpt.predict(pc))
+    })
+    .report();
 }
 
-fn bench_mesh(c: &mut Criterion) {
-    c.bench_function("noc/traverse_6_hops", |b| {
-        let mut mesh = Mesh::new(NocConfig::default());
-        let mut now = 0u64;
-        b.iter(|| {
-            now += 7;
-            black_box(mesh.traverse(0, 15, 5, now))
-        });
-    });
+fn bench_mesh() {
+    let mut mesh = Mesh::new(NocConfig::default());
+    let mut now = 0u64;
+    bench("noc/traverse_6_hops", move || {
+        now += 7;
+        black_box(mesh.traverse(0, 15, 5, now))
+    })
+    .report();
 }
 
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram/stream_access", |b| {
-        let mut dram = Dram::new(Default::default());
-        let mut line = 0u64;
-        let mut now = 0u64;
-        b.iter(|| {
-            line += 1;
-            now += 5;
-            black_box(dram.access(line, false, now))
-        });
-    });
+fn bench_dram() {
+    let mut dram = Dram::new(Default::default());
+    let mut line = 0u64;
+    let mut now = 0u64;
+    bench("dram/stream_access", move || {
+        line += 1;
+        now += 5;
+        black_box(dram.access(line, false, now))
+    })
+    .report();
 }
 
-fn bench_tlb(c: &mut Criterion) {
-    c.bench_function("tlb/hit", |b| {
-        let mut tlb: Tlb<u64> = Tlb::new(64, 8, 60);
-        for p in 0..8u64 {
-            tlb.access(p, |_| 0);
-        }
-        let mut p = 0u64;
-        b.iter(|| {
-            p = (p + 1) & 7;
-            black_box(tlb.access(p, |_| 0).hit)
-        });
-    });
+fn bench_tlb() {
+    let mut tlb: Tlb<u64> = Tlb::new(64, 8, 60);
+    for p in 0..8u64 {
+        tlb.access(p, |_| 0);
+    }
+    let mut p = 0u64;
+    bench("tlb/hit", move || {
+        p = (p + 1) & 7;
+        black_box(tlb.access(p, |_| 0).hit)
+    })
+    .report();
 }
 
-fn bench_workload_gen(c: &mut Criterion) {
-    c.bench_function("workloads/mcf_next_instr", |b| {
-        let spec = *workloads::app_by_name("mcf").unwrap();
-        let mut model = AppModel::new(spec, 1);
-        b.iter(|| black_box(model.next_instr()));
-    });
+fn bench_workload_gen() {
+    let spec = *workloads::app_by_name("mcf").unwrap();
+    let mut model = AppModel::new(spec, 1);
+    bench("workloads/mcf_next_instr", move || {
+        black_box(model.next_instr())
+    })
+    .report();
 }
 
-fn bench_wear(c: &mut Criterion) {
-    c.bench_function("wear/record_write", |b| {
-        let mut tracker = WearTracker::new(16, 32768);
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 97) % (16 * 32768);
-            tracker.record_write(i & 15, i >> 4);
-        });
-    });
+fn bench_wear() {
+    let mut tracker = WearTracker::new(16, 32768);
+    let mut i = 0usize;
+    bench("wear/record_write", move || {
+        i = (i + 97) % (16 * 32768);
+        tracker.record_write(i & 15, i >> 4);
+    })
+    .report();
 }
 
-fn bench_full_system(c: &mut Criterion) {
+fn bench_full_system() {
     // Throughput of the whole 16-core simulator: simulated instructions
-    // per wall-second over a short Re-NUCA run.
-    c.bench_function("system/16core_renuca_10k_instr", |b| {
-        b.iter_batched(
-            || {
-                let cfg = SystemConfig::default();
-                let wl = workload_mix(1, cfg.n_cores);
-                let scheme = Scheme::ReNuca;
-                let preds: Vec<Box<dyn CriticalityPredictor>> =
-                    scheme.build_predictors(&cfg, CptConfig::default());
-                System::new(cfg, scheme.build_policy(&cfg), wl.build_sources(), preds)
-            },
-            |mut sys| {
-                sys.run(10_000);
-                black_box(sys.now())
-            },
-            BatchSize::PerIteration,
-        );
-    });
+    // per wall-second over a short Re-NUCA run. Each sample gets a fresh
+    // system (the run consumes it), built outside the timed region.
+    bench_with_setup(
+        "system/16core_renuca_10k_instr",
+        || {
+            let cfg = SystemConfig::default();
+            let wl = workload_mix(1, cfg.n_cores);
+            let scheme = Scheme::ReNuca;
+            let preds: Vec<Box<dyn CriticalityPredictor>> =
+                scheme.build_predictors(&cfg, CptConfig::default());
+            System::new(cfg, scheme.build_policy(&cfg), wl.build_sources(), preds)
+        },
+        |mut sys| {
+            sys.run(10_000);
+            black_box(sys.now())
+        },
+    )
+    .report();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500))
+fn main() {
+    println!("=== micro benchmarks (in-tree harness; one JSON line per case) ===");
+    bench_cache();
+    bench_cpt();
+    bench_mesh();
+    bench_dram();
+    bench_tlb();
+    bench_workload_gen();
+    bench_wear();
+    bench_full_system();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_cache, bench_cpt, bench_mesh, bench_dram, bench_tlb,
-              bench_workload_gen, bench_wear, bench_full_system
-}
-criterion_main!(benches);

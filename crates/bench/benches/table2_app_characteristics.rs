@@ -1,9 +1,9 @@
 //! Regenerates Table II: per-application WPKI/MPKI/hit-rate/IPC.
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use experiments::figures::table2;
 
 fn main() {
     header("Table II — application characteristics");
-    let rows = table2::run(bench_budget());
+    let rows = timed("table2_app_characteristics", || table2::run(bench_budget()));
     println!("{}", table2::format_table2(&rows));
 }

@@ -1,9 +1,11 @@
 //! Regenerates Table III: raw minimum lifetimes, all four configurations.
-use bench::{bench_budget, header};
+use bench::{bench_budget, header, timed};
 use experiments::figures::table3;
 
 fn main() {
     header("Table III — raw minimum lifetimes");
-    let t3 = table3::run(bench_budget().sweep());
+    let t3 = timed("table3_raw_min_lifetime", || {
+        table3::run(bench_budget().sweep())
+    });
     println!("{}", table3::format_table3(&t3));
 }

@@ -356,7 +356,13 @@ mod tests {
         // Touch 0 so 4 becomes LRU.
         c.access(0, false);
         let out = c.fill(8, false);
-        assert_eq!(out.evicted, Some(Eviction { line: 4, dirty: false }));
+        assert_eq!(
+            out.evicted,
+            Some(Eviction {
+                line: 4,
+                dirty: false
+            })
+        );
         assert!(c.contains(0));
         assert!(c.contains(8));
         assert!(!c.contains(4));
@@ -369,10 +375,16 @@ mod tests {
         c.access(0, true); // store -> dirty
         c.fill(4, false);
         let out = c.fill(8, false); // evicts 0 (LRU) which is dirty? 0 touched after fill...
-        // After fill(0), access(0): stamp(0) newest until fill(4).
-        // fill(8) evicts LRU = 0? stamps: 0 filled @1 touched @2, 4 filled @3.
-        // LRU is 0 (stamp 2 < 3). It is dirty.
-        assert_eq!(out.evicted, Some(Eviction { line: 0, dirty: true }));
+                                    // After fill(0), access(0): stamp(0) newest until fill(4).
+                                    // fill(8) evicts LRU = 0? stamps: 0 filled @1 touched @2, 4 filled @3.
+                                    // LRU is 0 (stamp 2 < 3). It is dirty.
+        assert_eq!(
+            out.evicted,
+            Some(Eviction {
+                line: 0,
+                dirty: true
+            })
+        );
         assert_eq!(c.stats.dirty_evictions.get(), 1);
     }
 
@@ -408,10 +420,7 @@ mod tests {
         let out3 = c.fill(15, false);
         // One of these evictions must carry line 7 dirty.
         let evs = [out.evicted, out2.evicted, out3.evicted];
-        assert!(evs
-            .iter()
-            .flatten()
-            .any(|e| e.line == 7 && e.dirty));
+        assert!(evs.iter().flatten().any(|e| e.line == 7 && e.dirty));
     }
 
     #[test]

@@ -117,7 +117,11 @@ impl Directory {
             Some(e) => {
                 if e.sharers == bit {
                     // Re-read by the sole owner keeps its state.
-                    return if e.exclusive { Mesi::Exclusive } else { Mesi::Shared };
+                    return if e.exclusive {
+                        Mesi::Exclusive
+                    } else {
+                        Mesi::Shared
+                    };
                 }
                 e.sharers |= bit;
                 e.exclusive = false;
@@ -167,8 +171,7 @@ impl Directory {
         match self.entries.remove(&line) {
             None => Vec::new(),
             Some(e) => {
-                let holders: Vec<CoreId> =
-                    (0..32).filter(|c| e.sharers & (1 << c) != 0).collect();
+                let holders: Vec<CoreId> = (0..32).filter(|c| e.sharers & (1 << c) != 0).collect();
                 self.stats.back_invalidations.add(holders.len() as u64);
                 holders
             }

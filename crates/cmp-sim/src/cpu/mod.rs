@@ -199,16 +199,11 @@ impl CoreModel {
         // When nothing can happen until a memory response arrives, skip
         // ahead: the earliest interesting cycle is the head's completion
         // (commit progress) or an MSHR release (dispatch progress).
-        let can_dispatch_now =
-            !self.budget_done() && !self.rob.is_full() && !dispatch_blocked;
+        let can_dispatch_now = !self.budget_done() && !self.rob.is_full() && !dispatch_blocked;
         if can_dispatch_now {
             return now + 1;
         }
-        let mut next = self
-            .rob
-            .head()
-            .map(|h| h.complete_at)
-            .unwrap_or(Cycle::MAX);
+        let mut next = self.rob.head().map(|h| h.complete_at).unwrap_or(Cycle::MAX);
         if dispatch_blocked {
             for m in &self.mshrs {
                 next = next.min(m.complete_at);
@@ -363,9 +358,9 @@ mod tests {
     use super::*;
     use crate::config::SystemConfig;
     use crate::hierarchy::MemoryHierarchy;
-    use crate::types::Pc;
     use crate::instr::CyclicSource;
     use crate::placement::{AccessMeta, LlcPlacement, NeverCritical};
+    use crate::types::Pc;
 
     /// Minimal static placement for substrate tests: bank 0 always.
     struct Bank0;
@@ -428,7 +423,10 @@ mod tests {
         let (mut core, mut mem) = setup();
         // One load to a far line between long ALU runs: the load's DRAM
         // latency dwarfs the ROB drain time, so it must block the head.
-        let mut instrs = vec![Instr::Load { vaddr: 1 << 20, pc: 42 }];
+        let mut instrs = vec![Instr::Load {
+            vaddr: 1 << 20,
+            pc: 42,
+        }];
         instrs.extend(std::iter::repeat(Instr::Alu { latency: 1 }).take(511));
         let mut src = CyclicSource::new("miss", instrs);
         run_core(&mut core, &mut mem, &mut src, 512);
@@ -472,7 +470,10 @@ mod tests {
         let (mut core, mut mem) = setup();
         // A pure streaming load pattern: every line distinct.
         let loads: Vec<Instr> = (0..64u64)
-            .map(|i| Instr::Load { vaddr: i * 64 * 512, pc: 5 })
+            .map(|i| Instr::Load {
+                vaddr: i * 64 * 512,
+                pc: 5,
+            })
             .collect();
         let mut src = CyclicSource::new("stream", loads);
         run_core(&mut core, &mut mem, &mut src, 64);
@@ -488,7 +489,10 @@ mod tests {
         // Two loads to the same line back-to-back: one miss, one coalesce.
         let mut instrs = vec![
             Instr::Load { vaddr: 4096, pc: 1 },
-            Instr::Load { vaddr: 4096 + 8, pc: 2 },
+            Instr::Load {
+                vaddr: 4096 + 8,
+                pc: 2,
+            },
         ];
         instrs.extend(std::iter::repeat(Instr::Alu { latency: 1 }).take(126));
         let mut src = CyclicSource::new("coal", instrs);
@@ -506,7 +510,10 @@ mod tests {
         // They overlap in the memory system; only the first (oldest) should
         // block the head — the rest complete under its shadow.
         let mut instrs: Vec<Instr> = (0..8u64)
-            .map(|i| Instr::Load { vaddr: (1 << 22) + i * 64, pc: 10 + i as Pc })
+            .map(|i| Instr::Load {
+                vaddr: (1 << 22) + i * 64,
+                pc: 10 + i as Pc,
+            })
             .collect();
         instrs.extend(std::iter::repeat(Instr::Alu { latency: 1 }).take(1016));
         let mut src = CyclicSource::new("burst", instrs);
@@ -545,7 +552,10 @@ mod tests {
         }
         let mut pred = Always(true);
         // One isolated DRAM miss: actually critical, predicted critical.
-        let mut instrs = vec![Instr::Load { vaddr: 1 << 21, pc: 9 }];
+        let mut instrs = vec![Instr::Load {
+            vaddr: 1 << 21,
+            pc: 9,
+        }];
         instrs.extend(std::iter::repeat(Instr::Alu { latency: 1 }).take(255));
         let mut src = CyclicSource::new("one", instrs);
         core.add_budget(256);

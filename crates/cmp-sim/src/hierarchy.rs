@@ -175,10 +175,7 @@ impl MemoryHierarchy {
             stats: HierarchyStats::default(),
             block_criticality: cfg.track_block_criticality.then(HashMap::new),
             prefetch_cfg: cfg.prefetch,
-            streams: vec![
-                vec![StreamEntry::default(); cfg.prefetch.streams];
-                cfg.n_cores
-            ],
+            streams: vec![vec![StreamEntry::default(); cfg.prefetch.streams]; cfg.n_cores],
             stream_clock: 0,
             rotation_writes: cfg.intra_bank_rotation_writes,
             writes_since_rotation: vec![0; cfg.n_banks],
@@ -295,18 +292,20 @@ impl MemoryHierarchy {
             // A residency-state-free policy found the line at its second
             // candidate bank after a full serialized extra probe.
             self.per_core[core].l3_hits += 1;
-            self.mesh.traverse(hit_at.0, core, self.data_flits, hit_at.1)
+            self.mesh
+                .traverse(hit_at.0, core, self.data_flits, hit_at.1)
         } else {
             // L3 miss: fetch from DRAM, fill at the policy's fill bank.
             self.per_core[core].l3_misses += 1;
             let fill_bank = self.policy.fill_bank(&meta);
             let mc = self.mc_tiles[self.dram.coord_of(line).channel];
-            let t_mc = self.mesh.traverse(bank, mc, self.ctrl_flits, t_req + self.l3_latency);
+            let t_mc = self
+                .mesh
+                .traverse(bank, mc, self.ctrl_flits, t_req + self.l3_latency);
             let t_dram = self.dram.access(line, false, t_mc);
             let t_fill = self.mesh.traverse(mc, fill_bank, self.data_flits, t_dram);
             self.fill_l3(&meta, fill_bank, t_fill);
-            self.mesh
-                .traverse(fill_bank, core, self.data_flits, t_fill)
+            self.mesh.traverse(fill_bank, core, self.data_flits, t_fill)
         };
 
         // Coherence: grant the line to this core's private caches.
@@ -456,26 +455,25 @@ impl MemoryHierarchy {
         };
         let bank = self.policy.lookup_bank(&meta);
         let t_req = self.mesh.traverse(core, bank, self.ctrl_flits, now);
-        let (data_bank, t_data) = if let LookupResult::Hit { .. } =
-            self.l3[bank].access(line, false)
-        {
-            self.stats.prefetch_l3_hits.inc();
-            (bank, t_req + self.l3_latency)
-        } else {
-            // Count the memory fetch against the core's MPKI: a prefetch
-            // fill replaces the demand miss it hides.
-            self.per_core[core].l3_misses += 1;
-            self.stats.prefetch_fills.inc();
-            let fill_bank = self.policy.fill_bank(&meta);
-            let mc = self.mc_tiles[self.dram.coord_of(line).channel];
-            let t_mc = self
-                .mesh
-                .traverse(bank, mc, self.ctrl_flits, t_req + self.l3_latency);
-            let t_dram = self.dram.access(line, false, t_mc);
-            let t_fill = self.mesh.traverse(mc, fill_bank, self.data_flits, t_dram);
-            self.fill_l3(&meta, fill_bank, t_fill);
-            (fill_bank, t_fill)
-        };
+        let (data_bank, t_data) =
+            if let LookupResult::Hit { .. } = self.l3[bank].access(line, false) {
+                self.stats.prefetch_l3_hits.inc();
+                (bank, t_req + self.l3_latency)
+            } else {
+                // Count the memory fetch against the core's MPKI: a prefetch
+                // fill replaces the demand miss it hides.
+                self.per_core[core].l3_misses += 1;
+                self.stats.prefetch_fills.inc();
+                let fill_bank = self.policy.fill_bank(&meta);
+                let mc = self.mc_tiles[self.dram.coord_of(line).channel];
+                let t_mc = self
+                    .mesh
+                    .traverse(bank, mc, self.ctrl_flits, t_req + self.l3_latency);
+                let t_dram = self.dram.access(line, false, t_mc);
+                let t_fill = self.mesh.traverse(mc, fill_bank, self.data_flits, t_dram);
+                self.fill_l3(&meta, fill_bank, t_fill);
+                (fill_bank, t_fill)
+            };
         let t_at_core = self.mesh.traverse(data_bank, core, self.data_flits, t_data);
         self.dir.read(line, core);
         self.fill_l2_only(core, line, t_at_core);
@@ -611,7 +609,11 @@ impl MemoryHierarchy {
                     if ev.dirty {
                         // L1 victim's dirty data merges into the inclusive L2.
                         let present = self.l2[core].mark_dirty(ev.line);
-                        debug_assert!(present, "L1 victim {:#x} missing from inclusive L2", ev.line);
+                        debug_assert!(
+                            present,
+                            "L1 victim {:#x} missing from inclusive L2",
+                            ev.line
+                        );
                     }
                 }
             }
@@ -679,7 +681,12 @@ impl MemoryHierarchy {
     /// Reset every statistic (warm-up boundary) while keeping all cache,
     /// directory, TLB-payload and policy state.
     pub fn reset_stats(&mut self) {
-        for c in self.l1.iter_mut().chain(self.l2.iter_mut()).chain(self.l3.iter_mut()) {
+        for c in self
+            .l1
+            .iter_mut()
+            .chain(self.l2.iter_mut())
+            .chain(self.l3.iter_mut())
+        {
             c.reset_stats();
         }
         self.mesh.reset_stats();

@@ -35,8 +35,8 @@
 #![warn(missing_docs)]
 
 pub mod cache;
-pub mod config;
 pub mod coherence;
+pub mod config;
 pub mod cpu;
 pub mod dram;
 pub mod hierarchy;

@@ -156,10 +156,22 @@ impl Mesh {
             self.stats.contention_cycles.add(depart - t);
             t = depart + self.cfg.hop_cycles;
             cur = match dir {
-                Dir::East => Tile { x: cur.x + 1, ..cur },
-                Dir::West => Tile { x: cur.x - 1, ..cur },
-                Dir::South => Tile { y: cur.y + 1, ..cur },
-                Dir::North => Tile { y: cur.y - 1, ..cur },
+                Dir::East => Tile {
+                    x: cur.x + 1,
+                    ..cur
+                },
+                Dir::West => Tile {
+                    x: cur.x - 1,
+                    ..cur
+                },
+                Dir::South => Tile {
+                    y: cur.y + 1,
+                    ..cur
+                },
+                Dir::North => Tile {
+                    y: cur.y - 1,
+                    ..cur
+                },
             };
             hops += 1;
         }
@@ -300,7 +312,7 @@ mod tests {
     fn gap_too_small_queues_after() {
         let mut m = mesh4x4();
         m.traverse(0, 1, 5, 4); // busy [4, 9)
-        // A 5-flit message at t=0 does not fit in [0,4); departs at 9.
+                                // A 5-flit message at t=0 does not fit in [0,4); departs at 9.
         let t = m.traverse(0, 1, 5, 0);
         assert_eq!(t, 9 + m.config().hop_cycles);
         assert_eq!(m.stats.contention_cycles.get(), 9);

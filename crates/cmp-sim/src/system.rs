@@ -100,7 +100,11 @@ impl System {
         predictors: Vec<Box<dyn CriticalityPredictor>>,
     ) -> Self {
         cfg.validate();
-        assert_eq!(sources.len(), cfg.n_cores, "one instruction source per core");
+        assert_eq!(
+            sources.len(),
+            cfg.n_cores,
+            "one instruction source per core"
+        );
         assert_eq!(predictors.len(), cfg.n_cores, "one predictor per core");
         System {
             cores: (0..cfg.n_cores).map(|i| CoreModel::new(i, &cfg)).collect(),
@@ -314,7 +318,10 @@ mod tests {
         let instrs: Vec<Instr> = (0..span_lines)
             .flat_map(|i| {
                 vec![
-                    Instr::Load { vaddr: i * 64, pc: 2 },
+                    Instr::Load {
+                        vaddr: i * 64,
+                        pc: 2,
+                    },
                     Instr::Alu { latency: 1 },
                 ]
             })
@@ -368,13 +375,20 @@ mod tests {
         let mut sys = build(4, sources);
         sys.run(20_000);
         let r = sys.result();
-        assert!(r.per_core[0].mpki > 100.0, "stream mpki {}", r.per_core[0].mpki);
+        assert!(
+            r.per_core[0].mpki > 100.0,
+            "stream mpki {}",
+            r.per_core[0].mpki
+        );
         assert!(sys.mem.wear.total_writes() > 10_000);
         // Striped placement: bank write counts within 2x of each other.
         let totals = r.bank_writes.clone();
         let max = *totals.iter().max().unwrap() as f64;
         let min = *totals.iter().min().unwrap() as f64;
-        assert!(max / min.max(1.0) < 2.0, "striping should balance: {totals:?}");
+        assert!(
+            max / min.max(1.0) < 2.0,
+            "striping should balance: {totals:?}"
+        );
     }
 
     #[test]

@@ -99,11 +99,7 @@ impl<P: Clone + Default> Tlb<P> {
     /// (charging `walk_latency`) and installs the entry with
     /// `refill_payload(vpn)`; the evicted entry (if any) is returned so the
     /// caller can write its payload back.
-    pub fn access(
-        &mut self,
-        vpn: u64,
-        refill_payload: impl FnOnce(u64) -> P,
-    ) -> TlbAccess<P> {
+    pub fn access(&mut self, vpn: u64, refill_payload: impl FnOnce(u64) -> P) -> TlbAccess<P> {
         self.clock += 1;
         let set = self.set_of(vpn);
         let base = set * self.assoc;

@@ -1,6 +1,7 @@
-//! Property-based tests for the substrate's core structures.
+//! Property-based tests for the substrate's core structures, driven by
+//! seeded `sim-rng` generator loops (hermetic replacement for proptest).
 
-use proptest::prelude::*;
+use sim_rng::SimRng;
 
 use cmp_sim::cache::{LookupResult, SetAssocCache};
 use cmp_sim::config::{CacheGeometry, DramConfig, NocConfig};
@@ -9,15 +10,31 @@ use cmp_sim::dram::Dram;
 use cmp_sim::noc::Mesh;
 use cmp_sim::tlb::Tlb;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    /// LRU correctness: after any access sequence, the most recently
-    /// touched `assoc` lines of a set are all resident.
-    #[test]
-    fn lru_keeps_most_recent_ways(accesses in prop::collection::vec(0u64..64, 1..200)) {
+fn u64_vec(rng: &mut SimRng, len: std::ops::Range<usize>, bound: u64) -> Vec<u64> {
+    let n = rng.gen_range_usize(len);
+    (0..n).map(|_| rng.gen_bounded(bound)).collect()
+}
+
+fn bool_vec(rng: &mut SimRng, len: std::ops::Range<usize>) -> Vec<bool> {
+    let n = rng.gen_range_usize(len);
+    (0..n).map(|_| rng.gen_bool(0.5)).collect()
+}
+
+/// LRU correctness: after any access sequence, the most recently
+/// touched `assoc` lines of a set are all resident.
+#[test]
+fn lru_keeps_most_recent_ways() {
+    let mut rng = SimRng::seed_from_u64(0xCACE_0001);
+    for case in 0..CASES {
+        let accesses = u64_vec(&mut rng, 1..200, 64);
         // Single-set cache: 4 ways, 4 lines * 64B... geometry: 256B, assoc 4 -> 1 set.
-        let geo = CacheGeometry { size_bytes: 256, assoc: 4, latency: 1 };
+        let geo = CacheGeometry {
+            size_bytes: 256,
+            assoc: 4,
+            latency: 1,
+        };
         let mut cache = SetAssocCache::new(geo, false);
         // Map every access to set 0 by multiplying by the set count (1): all collide.
         let mut recency: Vec<u64> = Vec::new();
@@ -30,15 +47,26 @@ proptest! {
         }
         let mru: Vec<u64> = recency.iter().rev().take(4).copied().collect();
         for &line in &mru {
-            prop_assert!(cache.contains(line), "MRU line {line} evicted");
+            assert!(cache.contains(line), "case {case}: MRU line {line} evicted");
         }
     }
+}
 
-    /// Dirty data is never lost: every line stored-to is either resident
-    /// and dirty, or was reported as a dirty eviction.
-    #[test]
-    fn no_silent_dirty_loss(ops in prop::collection::vec((0u64..128, any::<bool>()), 1..300)) {
-        let geo = CacheGeometry { size_bytes: 2048, assoc: 4, latency: 1 }; // 8 sets
+/// Dirty data is never lost: every line stored-to is either resident
+/// and dirty, or was reported as a dirty eviction.
+#[test]
+fn no_silent_dirty_loss() {
+    let mut rng = SimRng::seed_from_u64(0xCACE_0002);
+    for case in 0..CASES {
+        let n_ops = rng.gen_range_usize(1..300);
+        let ops: Vec<(u64, bool)> = (0..n_ops)
+            .map(|_| (rng.gen_bounded(128), rng.gen_bool(0.5)))
+            .collect();
+        let geo = CacheGeometry {
+            size_bytes: 2048,
+            assoc: 4,
+            latency: 1,
+        }; // 8 sets
         let mut cache = SetAssocCache::new(geo, false);
         let mut dirty_outstanding: std::collections::HashSet<u64> = Default::default();
         for (line, is_write) in ops {
@@ -55,9 +83,17 @@ proptest! {
                     }
                     if let Some(ev) = out.evicted {
                         if dirty_outstanding.remove(&ev.line) {
-                            prop_assert!(ev.dirty, "dirty line {:#x} evicted clean", ev.line);
+                            assert!(
+                                ev.dirty,
+                                "case {case}: dirty line {:#x} evicted clean",
+                                ev.line
+                            );
                         } else {
-                            prop_assert!(!ev.dirty, "clean line {:#x} evicted dirty", ev.line);
+                            assert!(
+                                !ev.dirty,
+                                "case {case}: clean line {:#x} evicted dirty",
+                                ev.line
+                            );
                         }
                     }
                 }
@@ -65,13 +101,17 @@ proptest! {
         }
         for &line in &dirty_outstanding {
             let present = matches!(cache.probe(line), LookupResult::Hit { .. });
-            prop_assert!(present, "dirty line {line:#x} vanished");
+            assert!(present, "case {case}: dirty line {line:#x} vanished");
         }
     }
+}
 
-    /// The ROB is an exact FIFO for any interleaving of pushes and pops.
-    #[test]
-    fn rob_is_fifo(ops in prop::collection::vec(any::<bool>(), 1..300)) {
+/// The ROB is an exact FIFO for any interleaving of pushes and pops.
+#[test]
+fn rob_is_fifo() {
+    let mut rng = SimRng::seed_from_u64(0xCACE_0003);
+    for case in 0..CASES {
+        let ops = bool_vec(&mut rng, 1..300);
         let mut rob = Rob::new(16);
         let mut model: std::collections::VecDeque<u32> = Default::default();
         let mut next_pc = 0u32;
@@ -89,16 +129,23 @@ proptest! {
             } else if !push && !rob.is_empty() {
                 let got = rob.pop_head().pc;
                 let want = model.pop_front().unwrap();
-                prop_assert_eq!(got, want);
+                assert_eq!(got, want, "case {case}");
             }
-            prop_assert_eq!(rob.len(), model.len());
+            assert_eq!(rob.len(), model.len(), "case {case}");
         }
     }
+}
 
-    /// Mesh latency is monotone in distance for uncontended traffic, and
-    /// every traversal is at least the ideal latency.
-    #[test]
-    fn mesh_latency_bounds(pairs in prop::collection::vec((0usize..16, 0usize..16), 1..64)) {
+/// Mesh latency is monotone in distance for uncontended traffic, and
+/// every traversal is at least the ideal latency.
+#[test]
+fn mesh_latency_bounds() {
+    let mut rng = SimRng::seed_from_u64(0xCACE_0004);
+    for case in 0..CASES {
+        let n_pairs = rng.gen_range_usize(1..64);
+        let pairs: Vec<(usize, usize)> = (0..n_pairs)
+            .map(|_| (rng.gen_range_usize(0..16), rng.gen_range_usize(0..16)))
+            .collect();
         let mut mesh = Mesh::new(NocConfig::default());
         let hop = mesh.config().hop_cycles;
         let mut now = 0u64;
@@ -106,14 +153,18 @@ proptest! {
             now += 1_000; // spaced out: uncontended
             let t = mesh.traverse(src, dst, 1, now);
             let d = mesh.hop_distance(src, dst);
-            prop_assert_eq!(t - now, d * hop, "{}->{}", src, dst);
+            assert_eq!(t - now, d * hop, "case {case}: {src}->{dst}");
         }
     }
+}
 
-    /// DRAM requests complete after arrival with bounded latency, and the
-    /// decomposition covers all channels/banks.
-    #[test]
-    fn dram_latency_bounds(lines in prop::collection::vec(0u64..1_000_000, 1..128)) {
+/// DRAM requests complete after arrival with bounded latency, and the
+/// decomposition covers all channels/banks.
+#[test]
+fn dram_latency_bounds() {
+    let mut rng = SimRng::seed_from_u64(0xCACE_0005);
+    for case in 0..CASES {
+        let lines = u64_vec(&mut rng, 1..128, 1_000_000);
         let cfg = DramConfig::default();
         let mut dram = Dram::new(cfg);
         let worst_single = cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.t_burst;
@@ -121,28 +172,40 @@ proptest! {
         for &line in &lines {
             now += 2 * worst_single; // spaced: no queueing
             let done = dram.access(line, false, now);
-            prop_assert!(done > now);
-            prop_assert!(done - now <= worst_single, "{} > {worst_single}", done - now);
+            assert!(done > now, "case {case}");
+            assert!(
+                done - now <= worst_single,
+                "case {case}: {} > {worst_single}",
+                done - now
+            );
             let c = dram.coord_of(line);
-            prop_assert!(c.channel < cfg.channels);
-            prop_assert!(c.bank < cfg.ranks * cfg.banks_per_rank);
+            assert!(c.channel < cfg.channels, "case {case}");
+            assert!(c.bank < cfg.ranks * cfg.banks_per_rank, "case {case}");
         }
     }
+}
 
-    /// TLB residency never exceeds capacity and hits always follow a prior
-    /// access that was not since evicted.
-    #[test]
-    fn tlb_capacity_respected(pages in prop::collection::vec(0u64..64, 1..200)) {
+/// TLB residency never exceeds capacity and hits always follow a prior
+/// access that was not since evicted.
+#[test]
+fn tlb_capacity_respected() {
+    let mut rng = SimRng::seed_from_u64(0xCACE_0006);
+    for case in 0..CASES {
+        let pages = u64_vec(&mut rng, 1..200, 64);
         let mut tlb: Tlb<u64> = Tlb::new(16, 4, 60);
         let mut resident: std::collections::HashSet<u64> = Default::default();
         for &page in &pages {
             let acc = tlb.access(page, |_| 0);
-            prop_assert_eq!(acc.hit, resident.contains(&page), "page {}", page);
+            assert_eq!(
+                acc.hit,
+                resident.contains(&page),
+                "case {case}: page {page}"
+            );
             resident.insert(page);
             if let Some((evicted, _)) = acc.evicted {
                 resident.remove(&evicted);
             }
-            prop_assert!(resident.len() <= 16);
+            assert!(resident.len() <= 16, "case {case}");
         }
     }
 }

@@ -25,7 +25,14 @@ impl LlcPlacement for Striped {
 
 fn sys_with(cfg: SystemConfig, sources: Vec<Box<dyn InstrSource>>) -> System {
     let preds = System::never_critical(&cfg);
-    System::new(cfg, Box::new(Striped { nbanks: cfg.n_banks }), sources, preds)
+    System::new(
+        cfg,
+        Box::new(Striped {
+            nbanks: cfg.n_banks,
+        }),
+        sources,
+        preds,
+    )
 }
 
 fn alu_source() -> Box<dyn InstrSource> {
@@ -85,7 +92,10 @@ fn prefetcher_reduces_stream_stalls() {
     let (ipc_off, _ncl_off, pf_off) = run(false);
     let (ipc_on, ncl_on, pf_on) = run(true);
     assert_eq!(pf_off, 0);
-    assert!(pf_on > 1_000, "prefetches must fire on a pure stream: {pf_on}");
+    assert!(
+        pf_on > 1_000,
+        "prefetches must fire on a pure stream: {pf_on}"
+    );
     assert!(
         ipc_on > ipc_off,
         "prefetching must speed up a stream: {ipc_on} vs {ipc_off}"

@@ -51,7 +51,11 @@ fn main() {
         json.push_str(&format!("  \"{}\": [", study.label));
         let docs: Vec<String> = study.studies.iter().map(|s| s.to_json()).collect();
         json.push_str(&docs.join(", "));
-        json.push_str(if i + 1 < t3.studies.len() { "],\n" } else { "]\n" });
+        json.push_str(if i + 1 < t3.studies.len() {
+            "],\n"
+        } else {
+            "]\n"
+        });
     }
     json.push_str("}\n");
     if let Err(e) = std::fs::write("results.json", &json) {

@@ -8,17 +8,52 @@ use std::time::Instant;
 
 fn main() {
     let budget = Budget::from_env();
-    println!("budget: warmup={} measure={}", budget.warmup, budget.measure);
-    println!("{:<12} {:>8} {:>8} {:>8} {:>6} | {:>8} {:>8} {:>6}", "app", "WPKI", "MPKI", "hit", "IPC", "pWPKI", "pMPKI", "pIPC");
-    for name in ["mcf", "streamL", "lbm", "libquantum", "omnetpp", "xalancbmk", "leslie3d", "bzip2", "hmmer", "sjeng", "povray", "namd", "GemsFDTD", "milc", "astar", "dealII"] {
+    println!(
+        "budget: warmup={} measure={}",
+        budget.warmup, budget.measure
+    );
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>6} | {:>8} {:>8} {:>6}",
+        "app", "WPKI", "MPKI", "hit", "IPC", "pWPKI", "pMPKI", "pIPC"
+    );
+    for name in [
+        "mcf",
+        "streamL",
+        "lbm",
+        "libquantum",
+        "omnetpp",
+        "xalancbmk",
+        "leslie3d",
+        "bzip2",
+        "hmmer",
+        "sjeng",
+        "povray",
+        "namd",
+        "GemsFDTD",
+        "milc",
+        "astar",
+        "dealII",
+    ] {
         let spec = workloads::app_by_name(name).unwrap();
         let t = Instant::now();
-        let r = run_single_app(spec, Scheme::SNuca, CptConfig::default(), budget.single_core(), false);
+        let r = run_single_app(
+            spec,
+            Scheme::SNuca,
+            CptConfig::default(),
+            budget.single_core(),
+            false,
+        );
         let c = &r.per_core[0];
         println!(
             "{:<12} {:>8.2} {:>8.2} {:>8.2} {:>6.2} | {:>8.2} {:>8.2} {:>6.2}  ncl={:.0}% [{:?}]",
-            name, c.wpki, c.mpki, c.l3_hit_rate, c.ipc,
-            spec.paper_wpki, spec.paper_mpki, spec.paper_ipc,
+            name,
+            c.wpki,
+            c.mpki,
+            c.l3_hit_rate,
+            c.ipc,
+            spec.paper_wpki,
+            spec.paper_mpki,
+            spec.paper_ipc,
             c.core_stats.noncritical_load_fraction() * 100.0,
             t.elapsed()
         );
@@ -27,14 +62,29 @@ fn main() {
     let wl = workloads::workload_mix(1, 16);
     let t = Instant::now();
     let r = run_workload(&wl, Scheme::SNuca, cfg, CptConfig::default(), budget);
-    println!("16-core S-NUCA WL1: ipc={:.2} cycles={} wall={:?}", r.total_ipc(), r.cycles, t.elapsed());
+    println!(
+        "16-core S-NUCA WL1: ipc={:.2} cycles={} wall={:?}",
+        r.total_ipc(),
+        r.cycles,
+        t.elapsed()
+    );
     println!("bank writes: {:?}", r.bank_writes);
     let t = Instant::now();
     let r2 = run_workload(&wl, Scheme::ReNuca, cfg, CptConfig::default(), budget);
-    println!("16-core Re-NUCA WL1: ipc={:.2} cycles={} wall={:?}", r2.total_ipc(), r2.cycles, t.elapsed());
+    println!(
+        "16-core Re-NUCA WL1: ipc={:.2} cycles={} wall={:?}",
+        r2.total_ipc(),
+        r2.cycles,
+        t.elapsed()
+    );
     println!("bank writes: {:?}", r2.bank_writes);
     let t = Instant::now();
     let r3 = run_workload(&wl, Scheme::RNuca, cfg, CptConfig::default(), budget);
-    println!("16-core R-NUCA WL1: ipc={:.2} cycles={} wall={:?}", r3.total_ipc(), r3.cycles, t.elapsed());
+    println!(
+        "16-core R-NUCA WL1: ipc={:.2} cycles={} wall={:?}",
+        r3.total_ipc(),
+        r3.cycles,
+        t.elapsed()
+    );
     println!("bank writes: {:?}", r3.bank_writes);
 }

@@ -4,6 +4,10 @@ use experiments::figures::{capacity, lifetime};
 use experiments::Budget;
 
 fn main() {
-    let study = lifetime::run("Actual Results", SystemConfig::default(), Budget::from_env());
+    let study = lifetime::run(
+        "Actual Results",
+        SystemConfig::default(),
+        Budget::from_env(),
+    );
     println!("{}", capacity::format_retention(&study, 16.0, 9));
 }

@@ -4,7 +4,11 @@ use experiments::figures::lifetime;
 use experiments::Budget;
 
 fn main() {
-    let study = lifetime::run("Actual Results", SystemConfig::default(), Budget::from_env());
+    let study = lifetime::run(
+        "Actual Results",
+        SystemConfig::default(),
+        Budget::from_env(),
+    );
     println!("{}", lifetime::format_fig11(&study));
     println!("{}", lifetime::headline(&study));
 }

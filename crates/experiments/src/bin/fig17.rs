@@ -4,5 +4,8 @@ use experiments::Budget;
 
 fn main() {
     let study = sensitivity::run(Sensitivity::RobLarge, Budget::from_env());
-    println!("{}", sensitivity::format_wear(Sensitivity::RobLarge, &study));
+    println!(
+        "{}",
+        sensitivity::format_wear(Sensitivity::RobLarge, &study)
+    );
 }

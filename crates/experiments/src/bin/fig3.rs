@@ -4,6 +4,10 @@ use experiments::figures::lifetime;
 use experiments::Budget;
 
 fn main() {
-    let study = lifetime::run("Actual Results", SystemConfig::default(), Budget::from_env());
+    let study = lifetime::run(
+        "Actual Results",
+        SystemConfig::default(),
+        Budget::from_env(),
+    );
     println!("{}", lifetime::format_fig3(&study));
 }

@@ -53,14 +53,24 @@ fn summarize(results: &[SimResult], model: &LifetimeModel) -> (f64, f64, f64) {
         variations.push(lifetime_variation(&lifetimes));
         ipc += r.total_ipc();
     }
-    (min_life, sim_stats::amean(&variations), ipc / results.len() as f64)
+    (
+        min_life,
+        sim_stats::amean(&variations),
+        ipc / results.len() as f64,
+    )
 }
 
 /// Ablation 1: the criticality threshold's end-to-end lifetime/IPC trade.
 pub fn threshold_end_to_end(budget: Budget) -> String {
     let cfg = SystemConfig::default();
     let model = lifetime_model(&cfg);
-    let mut t = Table::new(&["x [%]", "raw-min life [y]", "wear CV", "IPC", "ΔIPC vs x=3 [%]"]);
+    let mut t = Table::new(&[
+        "x [%]",
+        "raw-min life [y]",
+        "wear CV",
+        "IPC",
+        "ΔIPC vs x=3 [%]",
+    ]);
     let mut base_ipc = None;
     for x in [3.0, 10.0, 33.0, 100.0] {
         let results = run_wls(Scheme::ReNuca, cfg, CptConfig::with_threshold(x), budget);
@@ -115,12 +125,7 @@ pub fn cpt_capacity(budget: Budget) -> String {
 /// evaluated under the pessimistic max-slot lifetime model (where intra-bank
 /// variation actually shows).
 pub fn intra_bank_composition(budget: Budget) -> String {
-    let mut t = Table::new(&[
-        "scheme",
-        "rotation",
-        "raw-min life [y] (max-slot)",
-        "IPC",
-    ]);
+    let mut t = Table::new(&["scheme", "rotation", "raw-min life [y] (max-slot)", "IPC"]);
     for scheme in [Scheme::ReNuca, Scheme::RNuca] {
         // The rotation period is scaled to the measured window: a real
         // deployment rotates every few hundred thousand writes; at our
@@ -153,15 +158,13 @@ pub fn intra_bank_composition(budget: Budget) -> String {
 pub fn naive_latency(budget: Budget) -> String {
     let base_cfg = SystemConfig::default();
     let snuca = run_wls(Scheme::SNuca, base_cfg, CptConfig::default(), budget);
-    let snuca_ipc: f64 =
-        snuca.iter().map(SimResult::total_ipc).sum::<f64>() / snuca.len() as f64;
+    let snuca_ipc: f64 = snuca.iter().map(SimResult::total_ipc).sum::<f64>() / snuca.len() as f64;
     let mut t = Table::new(&["dir latency [cyc]", "IPC", "vs S-NUCA [%]"]);
     for lat in [0u64, 60, 150, 300] {
         let mut cfg = base_cfg;
         cfg.naive_dir_latency = lat;
         let results = run_wls(Scheme::Naive, cfg, CptConfig::default(), budget);
-        let ipc: f64 =
-            results.iter().map(SimResult::total_ipc).sum::<f64>() / results.len() as f64;
+        let ipc: f64 = results.iter().map(SimResult::total_ipc).sum::<f64>() / results.len() as f64;
         t.row(&[
             format!("{lat}"),
             format!("{ipc:.2}"),

@@ -47,13 +47,7 @@ impl MainStudy {
 /// Run the main study: all five schemes over WL1–WL10.
 pub fn run(label: &'static str, cfg: SystemConfig, budget: Budget) -> MainStudy {
     let model = lifetime_model(&cfg);
-    let studies = all_scheme_studies(
-        &Scheme::ALL,
-        cfg,
-        CptConfig::default(),
-        budget,
-        &model,
-    );
+    let studies = all_scheme_studies(&Scheme::ALL, cfg, CptConfig::default(), budget, &model);
     MainStudy { label, studies }
 }
 

@@ -77,12 +77,12 @@ pub fn run(budget: Budget, thresholds: &[f64]) -> PredictorStudy {
         let mut b_row = Vec::with_capacity(thresholds.len());
         let mut w_row = Vec::with_capacity(thresholds.len());
         for &x in thresholds {
-            let result =
-                run_single_app_with_cpt(spec, CptConfig::with_threshold(x), budget);
+            let result = run_single_app_with_cpt(spec, CptConfig::with_threshold(x), budget);
             let cs = result.per_core[0].core_stats;
             r_row.push(cs.critical_recall() * 100.0);
             let h = result.hierarchy;
-            b_row.push(h.l3_fills_noncritical.get() as f64 * 100.0 / h.l3_fills.get().max(1) as f64);
+            b_row
+                .push(h.l3_fills_noncritical.get() as f64 * 100.0 / h.l3_fills.get().max(1) as f64);
             w_row.push(
                 h.l3_writes_noncritical.get() as f64 * 100.0 / h.l3_writes.get().max(1) as f64,
             );

@@ -117,11 +117,7 @@ pub fn format_fig2(rows: &[Table2Row]) -> String {
         .map(|r| (r.name.to_owned(), r.wpki + r.mpki))
         .collect();
     data.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    bar_chart(
-        "Figure 2 — WPKI+MPKI per application (measured)",
-        &data,
-        50,
-    )
+    bar_chart("Figure 2 — WPKI+MPKI per application (measured)", &data, 50)
 }
 
 #[cfg(test)]

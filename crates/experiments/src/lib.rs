@@ -30,7 +30,9 @@
 
 pub mod budget;
 pub mod figures;
+pub mod pool;
 pub mod runner;
 
 pub use budget::Budget;
+pub use pool::{parallel_map, parallel_map_threads};
 pub use runner::{run_single_app, run_workload, SchemeStudy};

@@ -1,0 +1,122 @@
+//! A deterministic scoped-thread worker pool.
+//!
+//! The experiment harness fans independent simulations (scheme × workload ×
+//! configuration cells) across CPU cores. Each cell is a pure function of
+//! its inputs, so the only parallelism requirement is *order-preserving
+//! collection*: the result vector must be byte-identical to a serial run,
+//! regardless of thread count or scheduling. This module provides exactly
+//! that on `std::thread::scope` — no work stealing, no channels, no
+//! external crates.
+//!
+//! Workers pull item indices from a shared atomic counter and write results
+//! into the slot matching the item's position, so output order never
+//! depends on completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker threads to use: `RENUCA_THREADS` when set, otherwise the
+/// machine's available parallelism (at least 1).
+pub fn default_threads() -> usize {
+    std::env::var("RENUCA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Apply `f` to every item on up to [`default_threads`] workers, returning
+/// results in item order (identical to `items.iter().map(f).collect()`).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_threads(items, default_threads(), f)
+}
+
+/// [`parallel_map`] with an explicit worker count. `threads <= 1` runs
+/// serially on the caller's thread.
+pub fn parallel_map_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap()
+                .unwrap_or_else(|| panic!("pool: slot {i} never filled"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let par = parallel_map_threads(&items, threads, |x| x * x);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Later items finish first; order must hold anyway.
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map_threads(&items, 8, |&x| {
+            let spins = (31 - x) * 10_000;
+            let mut acc = 0u64;
+            for i in 0..spins {
+                acc = acc.wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            x
+        });
+        assert_eq!(out, items);
+    }
+}

@@ -2,14 +2,12 @@
 
 use cmp_sim::config::SystemConfig;
 use cmp_sim::system::{SimResult, System};
-use rayon::prelude::*;
 use renuca_core::{CptConfig, Scheme};
-use wear_model::{
-    hmean_lifetime_per_bank, lifetime_variation, raw_min_lifetime, LifetimeModel,
-};
+use wear_model::{hmean_lifetime_per_bank, lifetime_variation, raw_min_lifetime, LifetimeModel};
 use workloads::{workload_mix, AppModel, AppSpec, WorkloadMix, N_WORKLOADS};
 
 use crate::budget::Budget;
+use crate::pool::parallel_map;
 
 /// Run one multiprogrammed workload under one scheme and configuration.
 pub fn run_workload(
@@ -129,13 +127,11 @@ pub fn scheme_study(
     budget: Budget,
     lifetime: &LifetimeModel,
 ) -> SchemeStudy {
-    let results: Vec<SimResult> = (1..=N_WORKLOADS)
-        .into_par_iter()
-        .map(|id| {
-            let wl = workload_mix(id, cfg.n_cores);
-            run_workload(&wl, scheme, cfg, cpt, budget)
-        })
-        .collect();
+    let ids: Vec<usize> = (1..=N_WORKLOADS).collect();
+    let results: Vec<SimResult> = parallel_map(&ids, |&id| {
+        let wl = workload_mix(id, cfg.n_cores);
+        run_workload(&wl, scheme, cfg, cpt, budget)
+    });
     aggregate_study(scheme, &results, lifetime)
 }
 
@@ -193,9 +189,19 @@ mod tests {
     #[test]
     fn single_app_run_produces_metrics() {
         let spec = workloads::app_by_name("lbm").unwrap();
-        let r = run_single_app(spec, Scheme::SNuca, CptConfig::default(), Budget::test(), false);
+        let r = run_single_app(
+            spec,
+            Scheme::SNuca,
+            CptConfig::default(),
+            Budget::test(),
+            false,
+        );
         assert_eq!(r.per_core.len(), 1);
-        assert!(r.per_core[0].mpki > 1.0, "lbm must miss: {}", r.per_core[0].mpki);
+        assert!(
+            r.per_core[0].mpki > 1.0,
+            "lbm must miss: {}",
+            r.per_core[0].mpki
+        );
         assert!(r.per_core[0].ipc > 0.0);
     }
 
@@ -203,12 +209,22 @@ mod tests {
     fn workload_run_spreads_writes_under_snuca() {
         let cfg = SystemConfig::small(4);
         let wl = workload_mix(1, 4);
-        let r = run_workload(&wl, Scheme::SNuca, cfg, CptConfig::default(), Budget::test());
+        let r = run_workload(
+            &wl,
+            Scheme::SNuca,
+            cfg,
+            CptConfig::default(),
+            Budget::test(),
+        );
         let total: u64 = r.bank_writes.iter().sum();
         assert!(total > 0);
         // No bank should take more than half the writes under S-NUCA.
         for &w in &r.bank_writes {
-            assert!(w * 2 <= total + total / 2, "bank writes {:?}", r.bank_writes);
+            assert!(
+                w * 2 <= total + total / 2,
+                "bank writes {:?}",
+                r.bank_writes
+            );
         }
     }
 
@@ -217,7 +233,13 @@ mod tests {
         let cfg = SystemConfig::small(4);
         let model = lifetime_model(&cfg);
         let wl = workload_mix(1, 4);
-        let r = run_workload(&wl, Scheme::SNuca, cfg, CptConfig::default(), Budget::test());
+        let r = run_workload(
+            &wl,
+            Scheme::SNuca,
+            cfg,
+            CptConfig::default(),
+            Budget::test(),
+        );
         let study = aggregate_study(Scheme::SNuca, &[r], &model);
         let json = study.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
@@ -235,7 +257,13 @@ mod tests {
         let results: Vec<SimResult> = (1..=2)
             .map(|id| {
                 let wl = workload_mix(id, 4);
-                run_workload(&wl, Scheme::Private, cfg, CptConfig::default(), Budget::test())
+                run_workload(
+                    &wl,
+                    Scheme::Private,
+                    cfg,
+                    CptConfig::default(),
+                    Budget::test(),
+                )
             })
             .collect();
         let study = aggregate_study(Scheme::Private, &results, &model);

@@ -3,8 +3,9 @@
 //! (scheme × workload) matrix across threads; nothing may leak between
 //! systems).
 
-use crossbeam::thread;
-use experiments::{run_workload, Budget};
+use std::thread;
+
+use experiments::{parallel_map_threads, run_workload, Budget};
 use renuca_core::{CptConfig, Scheme};
 use workloads::workload_mix;
 
@@ -30,19 +31,19 @@ fn parallel_runs_match_serial_runs() {
         let handles: Vec<_> = cases
             .iter()
             .map(|&(s, wl)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     run_workload(&workload_mix(wl, 4), s, cfg, CptConfig::default(), budget)
                         .bank_writes
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
 
     for (i, (s, wl)) in cases.iter().enumerate() {
         assert_eq!(
-            serial[i], parallel[i],
+            serial[i],
+            parallel[i],
             "{}/WL{wl}: parallel execution changed the result",
             s.name()
         );
@@ -57,7 +58,7 @@ fn repeated_parallel_runs_are_stable() {
     let results: Vec<u64> = thread::scope(|scope| {
         let handles: Vec<_> = (0..4)
             .map(|_| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     run_workload(
                         &workload_mix(3, 4),
                         Scheme::ReNuca,
@@ -71,9 +72,35 @@ fn repeated_parallel_runs_are_stable() {
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
     for w in &results[1..] {
         assert_eq!(*w, results[0]);
+    }
+}
+
+#[test]
+fn pool_matches_serial_on_two_mix_experiment() {
+    // The runner's own pool, on the exact shape scheme_study uses: a small
+    // two-workload experiment. Pooled output must be byte-identical to the
+    // serial map — same values, same order — at any worker count.
+    let cfg = cmp_sim::SystemConfig::small(4);
+    let budget = Budget::test();
+    let ids = [1usize, 2];
+
+    let run = |&id: &usize| {
+        run_workload(
+            &workload_mix(id, 4),
+            Scheme::ReNuca,
+            cfg,
+            CptConfig::default(),
+            budget,
+        )
+        .bank_writes
+    };
+
+    let serial: Vec<Vec<u64>> = ids.iter().map(run).collect();
+    for threads in [1, 2, 4] {
+        let pooled = parallel_map_threads(&ids, threads, run);
+        assert_eq!(pooled, serial, "threads={threads}");
     }
 }

@@ -48,8 +48,7 @@ impl Default for CptConfig {
 
 impl CptConfig {
     /// The paper's threshold sweep for Figures 7–9.
-    pub const THRESHOLD_SWEEP: [f64; 9] =
-        [3.0, 5.0, 10.0, 20.0, 25.0, 33.0, 50.0, 75.0, 100.0];
+    pub const THRESHOLD_SWEEP: [f64; 9] = [3.0, 5.0, 10.0, 20.0, 25.0, 33.0, 50.0, 75.0, 100.0];
 
     /// A config with a specific threshold and default sizing.
     pub fn with_threshold(threshold_pct: f64) -> Self {

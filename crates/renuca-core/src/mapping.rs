@@ -726,7 +726,10 @@ mod tests {
             let b = r.fill_bank(&m);
             r.on_fill(&m, b);
         }
-        assert!(r.tlb(3).stats().evictions.get() > 0, "TLB must have churned");
+        assert!(
+            r.tlb(3).stats().evictions.get() > 0,
+            "TLB must have churned"
+        );
         assert_eq!(
             r.lookup_bank(&meta(l0, false)),
             bank,

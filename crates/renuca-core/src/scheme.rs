@@ -37,12 +37,8 @@ impl Scheme {
     ];
 
     /// The four baseline schemes of the motivation study (Figure 3).
-    pub const BASELINES: [Scheme; 4] = [
-        Scheme::SNuca,
-        Scheme::RNuca,
-        Scheme::Private,
-        Scheme::Naive,
-    ];
+    pub const BASELINES: [Scheme; 4] =
+        [Scheme::SNuca, Scheme::RNuca, Scheme::Private, Scheme::Naive];
 
     /// Display name matching the paper's figures.
     pub fn name(self) -> &'static str {

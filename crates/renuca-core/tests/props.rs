@@ -1,10 +1,13 @@
-//! Property-based tests for the Re-NUCA policies and predictor.
+//! Property-based tests for the Re-NUCA policies and predictor, driven by
+//! seeded `sim-rng` generator loops (hermetic replacement for proptest).
 
-use proptest::prelude::*;
+use sim_rng::SimRng;
 
 use cmp_sim::placement::{AccessMeta, CriticalityPredictor, LlcAccessKind, LlcPlacement};
 use cmp_sim::types::{page_of_line, phys_addr};
 use renuca_core::{Cpt, CptConfig, EnhancedTlb, NaiveOracle, RNuca, ReNuca, SNuca};
+
+const CASES: usize = 64;
 
 fn meta(line: u64, critical: bool) -> AccessMeta {
     AccessMeta {
@@ -17,42 +20,54 @@ fn meta(line: u64, critical: bool) -> AccessMeta {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// S-NUCA striping is uniform over any window of consecutive lines.
-    #[test]
-    fn snuca_uniform_over_windows(start in 0u64..1_000_000) {
+/// S-NUCA striping is uniform over any window of consecutive lines.
+#[test]
+fn snuca_uniform_over_windows() {
+    let mut rng = SimRng::seed_from_u64(0x4E0C_0001);
+    for case in 0..CASES {
+        let start = rng.gen_bounded(1_000_000);
         let s = SNuca::new(16);
         let mut counts = [0u32; 16];
         for line in start..start + 160 {
             counts[s.bank_of(line)] += 1;
         }
         for &c in &counts {
-            prop_assert_eq!(c, 10);
+            assert_eq!(c, 10, "case {case}: start {start}");
         }
     }
+}
 
-    /// R-NUCA: every line of every core lands inside that core's cluster,
-    /// and the rotational interleave uses the whole cluster over any
-    /// consecutive address window.
-    #[test]
-    fn rnuca_cluster_containment(core in 0usize..16, start in 0u64..1_000_000) {
+/// R-NUCA: every line of every core lands inside that core's cluster,
+/// and the rotational interleave uses the whole cluster over any
+/// consecutive address window.
+#[test]
+fn rnuca_cluster_containment() {
+    let mut rng = SimRng::seed_from_u64(0x4E0C_0002);
+    for case in 0..CASES {
+        let core = rng.gen_range_usize(0..16);
+        let start = rng.gen_bounded(1_000_000);
         let r = RNuca::new(4, 4);
         let mut seen = std::collections::HashSet::new();
         for line in start..start + 64 {
             let b = r.bank_of(core, line);
-            prop_assert!(r.cluster(core).contains(&b));
+            assert!(r.cluster(core).contains(&b), "case {case}");
             seen.insert(b);
         }
-        prop_assert_eq!(seen.len(), r.cluster(core).len());
+        assert_eq!(seen.len(), r.cluster(core).len(), "case {case}");
     }
+}
 
-    /// The Naive oracle's directory is exact under any fill/evict schedule:
-    /// a resident line is looked up at its fill bank; non-resident lines
-    /// fall back to the S-NUCA probe.
-    #[test]
-    fn naive_directory_exactness(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+/// The Naive oracle's directory is exact under any fill/evict schedule:
+/// a resident line is looked up at its fill bank; non-resident lines
+/// fall back to the S-NUCA probe.
+#[test]
+fn naive_directory_exactness() {
+    let mut rng = SimRng::seed_from_u64(0x4E0C_0003);
+    for case in 0..CASES {
+        let n_ops = rng.gen_range_usize(1..200);
+        let ops: Vec<(u64, bool)> = (0..n_ops)
+            .map(|_| (rng.gen_bounded(64), rng.gen_bool(0.5)))
+            .collect();
         let mut naive = NaiveOracle::new(8, 0);
         let snuca = SNuca::new(8);
         let mut resident: std::collections::HashMap<u64, usize> = Default::default();
@@ -72,16 +87,30 @@ proptest! {
                 .get(&line)
                 .copied()
                 .unwrap_or_else(|| snuca.bank_of(line));
-            prop_assert_eq!(naive.lookup_bank(&m), expect);
+            assert_eq!(naive.lookup_bank(&m), expect, "case {case}: line {line}");
         }
-        prop_assert_eq!(naive.directory_len(), resident.len());
+        assert_eq!(naive.directory_len(), resident.len(), "case {case}");
     }
+}
 
-    /// Re-NUCA invariant under arbitrary fill/evict interleavings: lookup
-    /// routes to the bank of the *most recent surviving fill*, S-NUCA
-    /// otherwise. (This is the MBV correctness argument of §IV.C.)
-    #[test]
-    fn renuca_routing_model(ops in prop::collection::vec((0usize..8, 0u64..32, any::<bool>(), any::<bool>()), 1..300)) {
+/// Re-NUCA invariant under arbitrary fill/evict interleavings: lookup
+/// routes to the bank of the *most recent surviving fill*, S-NUCA
+/// otherwise. (This is the MBV correctness argument of §IV.C.)
+#[test]
+fn renuca_routing_model() {
+    let mut rng = SimRng::seed_from_u64(0x4E0C_0004);
+    for case in 0..CASES {
+        let n_ops = rng.gen_range_usize(1..300);
+        let ops: Vec<(usize, u64, bool, bool)> = (0..n_ops)
+            .map(|_| {
+                (
+                    rng.gen_range_usize(0..8),
+                    rng.gen_bounded(32),
+                    rng.gen_bool(0.5),
+                    rng.gen_bool(0.5),
+                )
+            })
+            .collect();
         let mut renuca = ReNuca::new(4, 4);
         let snuca = SNuca::new(16);
         let mut residency: std::collections::HashMap<u64, usize> = Default::default();
@@ -102,36 +131,67 @@ proptest! {
                 .get(&line)
                 .copied()
                 .unwrap_or_else(|| snuca.bank_of(line));
-            prop_assert_eq!(renuca.lookup_bank(&m), expect, "line {:#x}", line);
+            assert_eq!(
+                renuca.lookup_bank(&m),
+                expect,
+                "case {case}: line {line:#x}"
+            );
         }
     }
+}
 
-    /// Enhanced-TLB MBV bits survive arbitrary churn: the vector read back
-    /// always equals a reference model, no matter how entries migrate
-    /// between the TLB and the backing store.
-    #[test]
-    fn enhanced_tlb_matches_reference(ops in prop::collection::vec((0u64..40, 0u32..64, any::<bool>()), 1..400)) {
+/// Enhanced-TLB MBV bits survive arbitrary churn: the vector read back
+/// always equals a reference model, no matter how entries migrate
+/// between the TLB and the backing store.
+#[test]
+fn enhanced_tlb_matches_reference() {
+    let mut rng = SimRng::seed_from_u64(0x4E0C_0005);
+    for case in 0..CASES {
+        let n_ops = rng.gen_range_usize(1..400);
+        let ops: Vec<(u64, u32, bool)> = (0..n_ops)
+            .map(|_| {
+                (
+                    rng.gen_bounded(40),
+                    rng.gen_bounded(64) as u32,
+                    rng.gen_bool(0.5),
+                )
+            })
+            .collect();
         let mut tlb = EnhancedTlb::new(8, 2); // tiny: lots of eviction churn
         let mut reference: std::collections::HashMap<u64, u64> = Default::default();
         for (page, bit, value) in ops {
             tlb.set_mbv_bit(page, bit, value);
             let e = reference.entry(page).or_insert(0);
-            if value { *e |= 1 << bit } else { *e &= !(1 << bit) }
+            if value {
+                *e |= 1 << bit
+            } else {
+                *e &= !(1 << bit)
+            }
             // Interleave reads of random other pages to force churn.
             let probe = (page * 7 + 3) % 40;
             let expect_bit = (reference.get(&probe).copied().unwrap_or(0) >> (bit % 64)) & 1 == 1;
-            prop_assert_eq!(tlb.mbv_bit(probe, bit % 64), expect_bit);
+            assert_eq!(tlb.mbv_bit(probe, bit % 64), expect_bit, "case {case}");
         }
         for (&page, &bits) in &reference {
-            prop_assert_eq!(tlb.mbv(page), bits, "page {}", page);
+            assert_eq!(tlb.mbv(page), bits, "case {case}: page {page}");
         }
     }
+}
 
-    /// CPT: prediction equals the definition `robBlocks*100 >= x*numLoads`
-    /// applied to the running counters, for any event sequence.
-    #[test]
-    fn cpt_matches_definition(events in prop::collection::vec(any::<bool>(), 1..300), x in 1.0f64..100.0) {
-        let mut cpt = Cpt::new(CptConfig { entries: 16, threshold_pct: x, aging_cap: 1 << 30 });
+/// CPT: prediction equals the definition `robBlocks*100 >= x*numLoads`
+/// applied to the running counters, for any event sequence.
+#[test]
+fn cpt_matches_definition() {
+    let mut rng = SimRng::seed_from_u64(0x4E0C_0006);
+    for case in 0..CASES {
+        let n_events = rng.gen_range_usize(1..300);
+        let events: Vec<bool> = (0..n_events).map(|_| rng.gen_bool(0.5)).collect();
+        let x = rng.gen_f64_range(1.0, 100.0);
+        let mut cpt = Cpt::new(CptConfig {
+            entries: 16,
+            threshold_pct: x,
+            aging_cap: 1 << 30,
+        });
         let pc = 0x10;
         let mut num_loads = 0u64;
         let mut blocks = 0u64;
@@ -140,9 +200,12 @@ proptest! {
             if num_loads > 0 {
                 // Model: the entry exists after the first commit.
                 let expect = blocks as f64 * 100.0 >= x * num_loads as f64;
-                prop_assert_eq!(predicted, expect, "n={} b={}", num_loads, blocks);
+                assert_eq!(
+                    predicted, expect,
+                    "case {case}: n={num_loads} b={blocks} x={x}"
+                );
             } else {
-                prop_assert!(!predicted, "first touch must be non-critical");
+                assert!(!predicted, "case {case}: first touch must be non-critical");
             }
             if num_loads > 0 {
                 num_loads += 1;

@@ -1,0 +1,273 @@
+//! A hand-rolled JSON emitter with stable key ordering.
+//!
+//! The workspace is hermetic — no serde — and the simulator's JSON needs
+//! are narrow: flat-ish objects of numbers and strings whose dumps must
+//! diff cleanly between runs. This module provides a tiny append-only
+//! writer plus `to_json` implementations for the statistics types. Keys
+//! are emitted exactly in the order the caller writes them (for the
+//! registry: insertion order), so two runs that compute the same stats
+//! produce byte-identical documents.
+//!
+//! Number formatting is part of the contract: integers print exactly,
+//! floats print via [`fmt_f64`] (shortest round-trip representation, with
+//! non-finite values mapped to `null` since JSON has no NaN/Infinity).
+
+use std::fmt::Write as _;
+
+use crate::histogram::Histogram;
+use crate::registry::{StatValue, StatsRegistry};
+use crate::summary::Summary;
+
+/// Escape a string for inclusion in a JSON document (without quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number: shortest representation that
+/// round-trips, `null` for NaN/±∞ (JSON has no non-finite literals).
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// An append-only JSON object writer.
+///
+/// ```
+/// use sim_stats::json::JsonObject;
+/// let mut o = JsonObject::new();
+/// o.field_str("scheme", "re-nuca");
+/// o.field_u64("writes", 42);
+/// o.field_f64("ipc", 1.5);
+/// assert_eq!(o.finish(), r#"{"scheme":"re-nuca","writes":42,"ipc":1.5}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        let _ = write!(self.buf, "\"{}\":", escape(name));
+    }
+
+    /// Add a string field.
+    pub fn field_str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Add an integer field.
+    pub fn field_u64(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Add a float field (non-finite values become `null`).
+    pub fn field_f64(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&fmt_f64(value));
+        self
+    }
+
+    /// Add a field whose value is already-serialized JSON (object, array…).
+    pub fn field_raw(&mut self, name: &str, json: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Close the object and return the document.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Serialize a float slice as a JSON array via [`fmt_f64`].
+pub fn f64_array(xs: &[f64]) -> String {
+    let items: Vec<String> = xs.iter().map(|&x| fmt_f64(x)).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Serialize a u64 slice as a JSON array.
+pub fn u64_array(xs: &[u64]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+impl StatValue {
+    /// The value as a JSON fragment.
+    pub fn to_json(&self) -> String {
+        match self {
+            StatValue::Int(v) => v.to_string(),
+            StatValue::Float(v) => fmt_f64(*v),
+            StatValue::Text(s) => format!("\"{}\"", escape(s)),
+        }
+    }
+}
+
+impl StatsRegistry {
+    /// Serialize as a JSON object, keys in insertion order — so two runs
+    /// that register the same statistics produce byte-identical dumps.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        for (k, v) in self.iter() {
+            o.field_raw(k, &v.to_json());
+        }
+        o.finish()
+    }
+}
+
+impl Summary {
+    /// Serialize as a JSON object with a fixed key order
+    /// (`n`, `mean`, `hmean`, `stdev`, `min`, `max`).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("n", self.n as u64)
+            .field_f64("mean", self.mean)
+            .field_f64("hmean", self.hmean)
+            .field_f64("stdev", self.stdev)
+            .field_f64("min", self.min)
+            .field_f64("max", self.max);
+        o.finish()
+    }
+}
+
+impl Histogram {
+    /// Serialize aggregates plus non-empty buckets, key order fixed.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .nonempty_buckets()
+            .map(|(lo, hi, n)| format!("[{lo},{hi},{n}]"))
+            .collect();
+        let mut o = JsonObject::new();
+        o.field_u64("count", self.count())
+            .field_u64("sum", self.sum());
+        match (self.min(), self.max()) {
+            (Some(lo), Some(hi)) => {
+                o.field_u64("min", lo).field_u64("max", hi);
+            }
+            _ => {
+                o.field_raw("min", "null").field_raw("max", "null");
+            }
+        }
+        o.field_f64("mean", self.mean())
+            .field_raw("buckets", &format!("[{}]", buckets.join(",")));
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn floats_round_trip_and_nonfinite_null() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(0.1), "0.1");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        let x = 1.0 / 3.0;
+        assert_eq!(fmt_f64(x).parse::<f64>().unwrap(), x);
+    }
+
+    #[test]
+    fn object_builds_in_field_order() {
+        let mut o = JsonObject::new();
+        o.field_str("b", "x").field_u64("a", 1);
+        assert_eq!(o.finish(), r#"{"b":"x","a":1}"#);
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn registry_json_preserves_insertion_order() {
+        let mut r = StatsRegistry::new();
+        r.set("z.last", 1u64);
+        r.set("a.first", 2.5f64);
+        r.set("name", "wl1");
+        assert_eq!(r.to_json(), r#"{"z.last":1,"a.first":2.5,"name":"wl1"}"#);
+    }
+
+    #[test]
+    fn registry_json_is_stable_across_identical_runs() {
+        let build = || {
+            let mut r = StatsRegistry::new();
+            r.set("l3.writes", 42u64);
+            r.set("core0.ipc", 1.25f64);
+            r.to_json()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn summary_json_key_order() {
+        let s = Summary::of(&[1.0, 2.0, 4.0]);
+        let j = s.to_json();
+        assert!(j.starts_with(r#"{"n":3,"mean":"#), "{j}");
+        let n = j.find("\"n\":").unwrap();
+        let mean = j.find("\"mean\":").unwrap();
+        let max = j.find("\"max\":").unwrap();
+        assert!(n < mean && mean < max);
+    }
+
+    #[test]
+    fn histogram_json_shapes() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 100] {
+            h.record(v);
+        }
+        let j = h.to_json();
+        assert!(j.contains("\"count\":4"));
+        assert!(j.contains("\"sum\":106"));
+        assert!(j.contains("\"buckets\":[["));
+        let empty = Histogram::new().to_json();
+        assert!(empty.contains("\"min\":null"));
+        assert!(empty.contains("\"buckets\":[]"));
+    }
+
+    #[test]
+    fn arrays_render() {
+        assert_eq!(f64_array(&[1.0, 2.5]), "[1,2.5]");
+        assert_eq!(u64_array(&[3, 4]), "[3,4]");
+        assert_eq!(f64_array(&[]), "[]");
+    }
+}

@@ -3,10 +3,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A single statistic value.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum StatValue {
     /// An event count.
     Int(u64),
@@ -52,10 +50,9 @@ impl From<String> for StatValue {
 /// Simulator components each dump into a shared registry at the end of a run
 /// (`l3.bank3.writes`, `core5.ipc`, …). Insertion order is preserved so dumps
 /// are stable and diffable; lookup is O(1) via a side index.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct StatsRegistry {
     entries: Vec<(String, StatValue)>,
-    #[serde(skip)]
     index: HashMap<String, usize>,
 }
 
@@ -126,8 +123,8 @@ impl StatsRegistry {
         out
     }
 
-    /// Rebuild the lookup index (needed after deserialization, which skips
-    /// the index field).
+    /// Rebuild the lookup index from the entry list (for registries
+    /// reconstructed from an external dump, where only entries are known).
     pub fn rebuild_index(&mut self) {
         self.index = self
             .entries
@@ -192,7 +189,7 @@ mod tests {
     fn rebuild_index_restores_lookup() {
         let mut r = StatsRegistry::new();
         r.set("x", 5u64);
-        // Simulate a post-deserialization registry: entries present, index empty.
+        // Simulate a reconstructed registry: entries present, index empty.
         let mut copy = StatsRegistry {
             entries: r.entries.clone(),
             index: HashMap::new(),

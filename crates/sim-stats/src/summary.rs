@@ -72,22 +72,28 @@ pub fn cv(xs: &[f64]) -> f64 {
 
 /// Minimum of a slice (`None` when empty). NaNs are ignored.
 pub fn min_f64(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| {
-        Some(match acc {
-            None => x,
-            Some(a) => a.min(x),
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(a) => a.min(x),
+            })
         })
-    })
 }
 
 /// Maximum of a slice (`None` when empty). NaNs are ignored.
 pub fn max_f64(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| {
-        Some(match acc {
-            None => x,
-            Some(a) => a.max(x),
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(a) => a.max(x),
+            })
         })
-    })
 }
 
 /// Percent change of `new` relative to `base`: `(new - base) / base * 100`.

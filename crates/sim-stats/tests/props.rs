@@ -1,91 +1,150 @@
-//! Property-based tests for the statistics primitives.
+//! Property-based tests for the statistics primitives, driven by seeded
+//! `sim-rng` generator loops (hermetic replacement for proptest — the
+//! cases are deterministic, so a failure reproduces on every run).
 
-use proptest::prelude::*;
+use sim_rng::SimRng;
 use sim_stats::{amean, gmean, hmean, max_f64, min_f64, Histogram, Summary};
 
-proptest! {
-    /// The classic mean inequality chain holds for any positive series.
-    #[test]
-    fn am_gm_hm_inequality(xs in prop::collection::vec(0.001f64..1e6, 1..64)) {
+const CASES: usize = 64;
+
+fn f64_vec(rng: &mut SimRng, len: std::ops::Range<usize>, lo: f64, hi: f64) -> Vec<f64> {
+    let n = rng.gen_range_usize(len);
+    (0..n).map(|_| rng.gen_f64_range(lo, hi)).collect()
+}
+
+fn u64_vec(rng: &mut SimRng, len: std::ops::Range<usize>, bound: u64) -> Vec<u64> {
+    let n = rng.gen_range_usize(len);
+    (0..n).map(|_| rng.gen_bounded(bound)).collect()
+}
+
+/// The classic mean inequality chain holds for any positive series.
+#[test]
+fn am_gm_hm_inequality() {
+    let mut rng = SimRng::seed_from_u64(0x51A7_0001);
+    for case in 0..CASES {
+        let xs = f64_vec(&mut rng, 1..64, 0.001, 1e6);
         let h = hmean(&xs);
         let g = gmean(&xs);
         let a = amean(&xs);
-        prop_assert!(h <= g * (1.0 + 1e-9), "HM {h} > GM {g}");
-        prop_assert!(g <= a * (1.0 + 1e-9), "GM {g} > AM {a}");
+        assert!(h <= g * (1.0 + 1e-9), "case {case}: HM {h} > GM {g}");
+        assert!(g <= a * (1.0 + 1e-9), "case {case}: GM {g} > AM {a}");
     }
+}
 
-    /// All means lie between min and max.
-    #[test]
-    fn means_bounded_by_extremes(xs in prop::collection::vec(0.001f64..1e6, 1..64)) {
+/// All means lie between min and max.
+#[test]
+fn means_bounded_by_extremes() {
+    let mut rng = SimRng::seed_from_u64(0x51A7_0002);
+    for case in 0..CASES {
+        let xs = f64_vec(&mut rng, 1..64, 0.001, 1e6);
         let lo = min_f64(&xs).unwrap();
         let hi = max_f64(&xs).unwrap();
         for m in [hmean(&xs), gmean(&xs), amean(&xs)] {
-            prop_assert!(m >= lo * (1.0 - 1e-9) && m <= hi * (1.0 + 1e-9));
+            assert!(
+                m >= lo * (1.0 - 1e-9) && m <= hi * (1.0 + 1e-9),
+                "case {case}: {m} outside [{lo}, {hi}]"
+            );
         }
     }
+}
 
-    /// Scaling the series scales every mean linearly.
-    #[test]
-    fn means_are_homogeneous(xs in prop::collection::vec(0.01f64..1e4, 1..32), k in 0.01f64..100.0) {
+/// Scaling the series scales every mean linearly.
+#[test]
+fn means_are_homogeneous() {
+    let mut rng = SimRng::seed_from_u64(0x51A7_0003);
+    for case in 0..CASES {
+        let xs = f64_vec(&mut rng, 1..32, 0.01, 1e4);
+        let k = rng.gen_f64_range(0.01, 100.0);
         let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
-        prop_assert!((amean(&scaled) - k * amean(&xs)).abs() < 1e-6 * k * amean(&xs).max(1.0));
-        prop_assert!((hmean(&scaled) - k * hmean(&xs)).abs() < 1e-6 * k * hmean(&xs).max(1.0));
+        assert!(
+            (amean(&scaled) - k * amean(&xs)).abs() < 1e-6 * k * amean(&xs).max(1.0),
+            "case {case}"
+        );
+        assert!(
+            (hmean(&scaled) - k * hmean(&xs)).abs() < 1e-6 * k * hmean(&xs).max(1.0),
+            "case {case}"
+        );
     }
+}
 
-    /// Histogram count/sum/min/max are exact regardless of bucketing.
-    #[test]
-    fn histogram_exact_aggregates(xs in prop::collection::vec(0u64..1_000_000, 1..256)) {
+/// Histogram count/sum/min/max are exact regardless of bucketing.
+#[test]
+fn histogram_exact_aggregates() {
+    let mut rng = SimRng::seed_from_u64(0x51A7_0004);
+    for case in 0..CASES {
+        let xs = u64_vec(&mut rng, 1..256, 1_000_000);
         let mut h = Histogram::new();
         for &x in &xs {
             h.record(x);
         }
-        prop_assert_eq!(h.count(), xs.len() as u64);
-        prop_assert_eq!(h.sum(), xs.iter().sum::<u64>());
-        prop_assert_eq!(h.min(), xs.iter().min().copied());
-        prop_assert_eq!(h.max(), xs.iter().max().copied());
+        assert_eq!(h.count(), xs.len() as u64, "case {case}");
+        assert_eq!(h.sum(), xs.iter().sum::<u64>(), "case {case}");
+        assert_eq!(h.min(), xs.iter().min().copied(), "case {case}");
+        assert_eq!(h.max(), xs.iter().max().copied(), "case {case}");
         // Bucket counts add up.
         let bucketed: u64 = h.nonempty_buckets().map(|(_, _, n)| n).sum();
-        prop_assert_eq!(bucketed, xs.len() as u64);
+        assert_eq!(bucketed, xs.len() as u64, "case {case}");
     }
+}
 
-    /// Merging two histograms equals recording the concatenation.
-    #[test]
-    fn histogram_merge_is_concat(
-        a in prop::collection::vec(0u64..100_000, 0..128),
-        b in prop::collection::vec(0u64..100_000, 0..128),
-    ) {
+/// Merging two histograms equals recording the concatenation.
+#[test]
+fn histogram_merge_is_concat() {
+    let mut rng = SimRng::seed_from_u64(0x51A7_0005);
+    for case in 0..CASES {
+        let a = u64_vec(&mut rng, 0..128, 100_000);
+        let b = u64_vec(&mut rng, 0..128, 100_000);
         let mut ha = Histogram::new();
         let mut hb = Histogram::new();
         let mut hc = Histogram::new();
-        for &x in &a { ha.record(x); hc.record(x); }
-        for &x in &b { hb.record(x); hc.record(x); }
+        for &x in &a {
+            ha.record(x);
+            hc.record(x);
+        }
+        for &x in &b {
+            hb.record(x);
+            hc.record(x);
+        }
         ha.merge(&hb);
-        prop_assert_eq!(ha.count(), hc.count());
-        prop_assert_eq!(ha.sum(), hc.sum());
-        prop_assert_eq!(ha.min(), hc.min());
-        prop_assert_eq!(ha.max(), hc.max());
+        assert_eq!(ha.count(), hc.count(), "case {case}");
+        assert_eq!(ha.sum(), hc.sum(), "case {case}");
+        assert_eq!(ha.min(), hc.min(), "case {case}");
+        assert_eq!(ha.max(), hc.max(), "case {case}");
     }
+}
 
-    /// Percentiles are monotone in p.
-    #[test]
-    fn percentiles_monotone(xs in prop::collection::vec(0u64..1_000_000, 1..256)) {
+/// Percentiles are monotone in p.
+#[test]
+fn percentiles_monotone() {
+    let mut rng = SimRng::seed_from_u64(0x51A7_0006);
+    for case in 0..CASES {
+        let xs = u64_vec(&mut rng, 1..256, 1_000_000);
         let mut h = Histogram::new();
-        for &x in &xs { h.record(x); }
+        for &x in &xs {
+            h.record(x);
+        }
         let mut last = 0;
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let v = h.percentile(p).unwrap();
-            prop_assert!(v >= last, "p{p}: {v} < {last}");
+            assert!(v >= last, "case {case}: p{p}: {v} < {last}");
             last = v;
         }
     }
+}
 
-    /// Summary agrees with the standalone functions.
-    #[test]
-    fn summary_consistent(xs in prop::collection::vec(0.01f64..1e5, 1..64)) {
+/// Summary agrees with the standalone functions.
+#[test]
+fn summary_consistent() {
+    let mut rng = SimRng::seed_from_u64(0x51A7_0007);
+    for case in 0..CASES {
+        let xs = f64_vec(&mut rng, 1..64, 0.01, 1e5);
         let s = Summary::of(&xs);
-        prop_assert_eq!(s.n, xs.len());
-        prop_assert!((s.mean - amean(&xs)).abs() < 1e-9 * amean(&xs).max(1.0));
-        prop_assert_eq!(s.min, min_f64(&xs).unwrap());
-        prop_assert_eq!(s.max, max_f64(&xs).unwrap());
+        assert_eq!(s.n, xs.len(), "case {case}");
+        assert!(
+            (s.mean - amean(&xs)).abs() < 1e-9 * amean(&xs).max(1.0),
+            "case {case}"
+        );
+        assert_eq!(s.min, min_f64(&xs).unwrap(), "case {case}");
+        assert_eq!(s.max, max_f64(&xs).unwrap(), "case {case}");
     }
 }

@@ -51,7 +51,13 @@ impl EnergyModel {
     /// `reads`/`writes` are line accesses, `seconds` the wall-clock window
     /// and `capacity_mb` the array size (leakage integrates over time and
     /// capacity regardless of activity — that is the whole point).
-    pub fn energy_mj(&self, reads: u64, writes: u64, seconds: f64, capacity_mb: f64) -> EnergyBreakdown {
+    pub fn energy_mj(
+        &self,
+        reads: u64,
+        writes: u64,
+        seconds: f64,
+        capacity_mb: f64,
+    ) -> EnergyBreakdown {
         assert!(seconds >= 0.0 && capacity_mb >= 0.0);
         let dynamic_read = reads as f64 * self.read_pj * 1e-9; // pJ -> mJ
         let dynamic_write = writes as f64 * self.write_pj * 1e-9;

@@ -60,7 +60,12 @@ impl LifetimeModel {
     /// # Panics
     /// Panics if `window_cycles` is zero — lifetimes of an empty measurement
     /// window are meaningless and indicate a harness bug.
-    pub fn bank_lifetime_years(&self, tracker: &WearTracker, bank: usize, window_cycles: u64) -> f64 {
+    pub fn bank_lifetime_years(
+        &self,
+        tracker: &WearTracker,
+        bank: usize,
+        window_cycles: u64,
+    ) -> f64 {
         assert!(window_cycles > 0, "empty measurement window");
         let effective_writes = match self.intra_bank {
             IntraBankWear::Uniform => {
@@ -73,8 +78,7 @@ impl LifetimeModel {
         }
         let window_seconds = window_cycles as f64 / self.freq_hz;
         let rate_per_second = effective_writes / window_seconds;
-        let lifetime_years =
-            self.endurance.writes_per_cell / rate_per_second / SECONDS_PER_YEAR;
+        let lifetime_years = self.endurance.writes_per_cell / rate_per_second / SECONDS_PER_YEAR;
         lifetime_years.min(self.cap_years)
     }
 

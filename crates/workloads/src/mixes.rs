@@ -9,9 +9,7 @@
 //! several high-intensity applications with medium/low ones, seeded so that
 //! WL*k* is identical on every machine and run.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use sim_rng::SimRng;
 
 use crate::model::AppModel;
 use crate::spec::{AppSpec, WriteIntensity, SPEC_TABLE};
@@ -78,7 +76,7 @@ pub fn workload_mix(id: usize, n_cores: usize) -> WorkloadMix {
         (1..=N_WORKLOADS).contains(&id),
         "workload id must be 1..={N_WORKLOADS}, got {id}"
     );
-    let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut rng = SimRng::seed_from_u64(0xC0FFEE ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15));
 
     let high: Vec<&AppSpec> = SPEC_TABLE
         .iter()
@@ -92,23 +90,20 @@ pub fn workload_mix(id: usize, n_cores: usize) -> WorkloadMix {
     let n_high = ((n_cores * 5) / 16).max(2).min(n_cores);
     let mut apps: Vec<&'static AppSpec> = Vec::with_capacity(n_cores);
     for i in 0..n_high {
-        apps.push(high[(rng_index(&mut rng, high.len() * 2) + i) % high.len()]);
+        apps.push(high[(rng.gen_range_usize(0..high.len() * 2) + i) % high.len()]);
     }
     while apps.len() < n_cores {
-        apps.push(rest[rng_index(&mut rng, rest.len())]);
+        apps.push(rest[rng.gen_range_usize(0..rest.len())]);
     }
-    apps.shuffle(&mut rng);
+    rng.shuffle(&mut apps);
     WorkloadMix { id, apps }
-}
-
-fn rng_index(rng: &mut SmallRng, n: usize) -> usize {
-    use rand::Rng;
-    rng.gen_range(0..n)
 }
 
 /// All ten workloads for `n_cores` cores.
 pub fn all_workloads(n_cores: usize) -> Vec<WorkloadMix> {
-    (1..=N_WORKLOADS).map(|id| workload_mix(id, n_cores)).collect()
+    (1..=N_WORKLOADS)
+        .map(|id| workload_mix(id, n_cores))
+        .collect()
 }
 
 #[cfg(test)]

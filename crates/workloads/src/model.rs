@@ -27,8 +27,7 @@
 
 use cmp_sim::instr::{Instr, InstrSource};
 use cmp_sim::types::{Pc, LINE_BYTES};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sim_rng::SimRng;
 
 use crate::spec::{AppSpec, BigPattern};
 
@@ -48,7 +47,7 @@ const STORE_PC_OFFSET: Pc = 0x8000;
 /// A deterministic synthetic application.
 pub struct AppModel {
     spec: AppSpec,
-    rng: SmallRng,
+    rng: SimRng,
     hot_lines: u64,
     mid_lines: u64,
     big_lines: u64,
@@ -73,7 +72,7 @@ impl AppModel {
             hot_lines: HOT_BYTES / LINE_BYTES,
             mid_lines: spec.mid_bytes / LINE_BYTES,
             big_lines: spec.big_bytes / LINE_BYTES,
-            rng: SmallRng::seed_from_u64(seed ^ 0x5eed_0000),
+            rng: SimRng::seed_from_u64(seed ^ 0x5eed_0000),
             burst_line: 0,
             burst_left: 0,
             stream_pos: 0,
@@ -102,8 +101,11 @@ impl AppModel {
         let line = self.rng.gen_range(0..self.hot_lines);
         let vaddr = HOT_BASE + line * LINE_BYTES;
         let pc = self.next_pc(0);
-        if self.rng.gen::<f64>() < self.spec.store_frac_hot {
-            Instr::Store { vaddr, pc: pc + STORE_PC_OFFSET }
+        if self.rng.gen_f64() < self.spec.store_frac_hot {
+            Instr::Store {
+                vaddr,
+                pc: pc + STORE_PC_OFFSET,
+            }
         } else {
             Instr::Load { vaddr, pc }
         }
@@ -114,7 +116,7 @@ impl AppModel {
         let line = self.rng.gen_range(0..self.mid_lines);
         let vaddr = MID_BASE + line * LINE_BYTES;
         let pc = self.next_pc(1);
-        if self.rng.gen::<f64>() < self.spec.store_frac_mid {
+        if self.rng.gen_f64() < self.spec.store_frac_mid {
             // Read-modify-write: the store trails the load.
             self.pending_store = Some((vaddr, pc + STORE_PC_OFFSET));
         }
@@ -128,15 +130,14 @@ impl AppModel {
         self.burst_left -= 1;
         let vaddr = BIG_BASE + line * LINE_BYTES;
         let pc = self.next_pc(if self.in_scan { 3 } else { 2 });
-        if self.rng.gen::<f64>() < self.spec.store_frac_big {
+        if self.rng.gen_f64() < self.spec.store_frac_big {
             self.pending_store = Some((vaddr, pc + STORE_PC_OFFSET));
         }
         Instr::Load { vaddr, pc }
     }
 
     fn start_burst(&mut self) {
-        self.in_scan =
-            self.spec.scan_frac > 0.0 && self.rng.gen::<f64>() < self.spec.scan_frac;
+        self.in_scan = self.spec.scan_frac > 0.0 && self.rng.gen_f64() < self.spec.scan_frac;
         let len = if self.in_scan {
             self.spec.scan_burst
         } else {
@@ -162,7 +163,7 @@ impl AppModel {
 
 impl InstrSource for AppModel {
     fn next_instr(&mut self) -> Instr {
-        if self.rng.gen::<f64>() < self.spec.mem_frac {
+        if self.rng.gen_f64() < self.spec.mem_frac {
             if let Some((vaddr, pc)) = self.pending_store.take() {
                 return Instr::Store { vaddr, pc };
             }
@@ -174,7 +175,7 @@ impl InstrSource for AppModel {
             // length — keeping `w_big` the fraction of memory ops that are
             // big-region loads regardless of burstiness.
             let p_burst = self.spec.w_big / self.expected_burst_len();
-            let r: f64 = self.rng.gen();
+            let r = self.rng.gen_f64();
             if r < p_burst {
                 self.start_burst();
                 self.big_access()
@@ -184,13 +185,12 @@ impl InstrSource for AppModel {
                 self.hot_access()
             }
         } else {
-            let latency = if self.spec.alu_long_frac > 0.0
-                && self.rng.gen::<f64>() < self.spec.alu_long_frac
-            {
-                self.spec.alu_long_latency
-            } else {
-                1
-            };
+            let latency =
+                if self.spec.alu_long_frac > 0.0 && self.rng.gen_f64() < self.spec.alu_long_frac {
+                    self.spec.alu_long_latency
+                } else {
+                    1
+                };
             Instr::Alu { latency }
         }
     }
@@ -243,7 +243,9 @@ mod tests {
         let spec = *app_by_name("mcf").unwrap();
         let mut a = AppModel::new(spec, 1);
         let mut b = AppModel::new(spec, 2);
-        let same = (0..1000).filter(|_| a.next_instr() == b.next_instr()).count();
+        let same = (0..1000)
+            .filter(|_| a.next_instr() == b.next_instr())
+            .count();
         assert!(same < 990, "streams should diverge: {same}/1000 identical");
     }
 
@@ -406,7 +408,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(beyond_hot < 50, "GemsFDTD beyond-hot accesses: {beyond_hot}");
+        assert!(
+            beyond_hot < 50,
+            "GemsFDTD beyond-hot accesses: {beyond_hot}"
+        );
     }
 
     #[test]

@@ -189,63 +189,352 @@ pub const SPEC_TABLE: [AppSpec; 22] = [
     // mcf: irregular pointer-heavy traversal; isolated misses, huge foot-
     // print, heavy read-modify-write.
     with_scans(
-        app("mcf", 0.35, 0.16, 0.10, 3 * MB, 64 * MB, 0.90, 0.80, Random, 1, 0.0, 1,
-            (68.67, 55.29, 0.20, 0.07)),
-        0.5, 48,
+        app(
+            "mcf",
+            0.35,
+            0.16,
+            0.10,
+            3 * MB,
+            64 * MB,
+            0.90,
+            0.80,
+            Random,
+            1,
+            0.0,
+            1,
+            (68.67, 55.29, 0.20, 0.07),
+        ),
+        0.5,
+        48,
     ),
     // streamL: pure copy stream — every line loaded once and stored once.
-    app("streamL", 0.35, 0.0, 0.15, 1 * MB, 8 * MB, 0.0, 1.0, Stream, 32, 0.01, 60,
-        (36.25, 36.25, 0.00, 0.37)),
-    app("lbm", 0.35, 0.0, 0.125, 1 * MB, 8 * MB, 0.0, 1.0, Stream, 16, 0.0, 1,
-        (31.66, 31.46, 0.01, 0.53)),
-    app("zeusmp", 0.35, 0.012, 0.069, 1 * MB, 8 * MB, 0.5, 1.0, Stream, 16, 0.025, 60,
-        (18.57, 17.13, 0.08, 0.54)),
-    app("bwaves", 0.35, 0.010, 0.051, 1 * MB, 8 * MB, 0.5, 1.0, Stream, 16, 0.02, 60,
-        (14.01, 12.91, 0.08, 0.59)),
-    app("libquantum", 0.35, 0.0, 0.041, 1 * MB, 8 * MB, 0.0, 1.0, Stream, 32, 0.04, 60,
-        (11.67, 11.64, 0.00, 0.34)),
-    app("milc", 0.35, 0.0, 0.037, 1 * MB, 8 * MB, 0.0, 1.0, Stream, 8, 0.025, 60,
-        (11.31, 11.28, 0.00, 0.71)),
+    app(
+        "streamL",
+        0.35,
+        0.0,
+        0.15,
+        1 * MB,
+        8 * MB,
+        0.0,
+        1.0,
+        Stream,
+        32,
+        0.01,
+        60,
+        (36.25, 36.25, 0.00, 0.37),
+    ),
+    app(
+        "lbm",
+        0.35,
+        0.0,
+        0.125,
+        1 * MB,
+        8 * MB,
+        0.0,
+        1.0,
+        Stream,
+        16,
+        0.0,
+        1,
+        (31.66, 31.46, 0.01, 0.53),
+    ),
+    app(
+        "zeusmp",
+        0.35,
+        0.012,
+        0.069,
+        1 * MB,
+        8 * MB,
+        0.5,
+        1.0,
+        Stream,
+        16,
+        0.025,
+        60,
+        (18.57, 17.13, 0.08, 0.54),
+    ),
+    app(
+        "bwaves",
+        0.35,
+        0.010,
+        0.051,
+        1 * MB,
+        8 * MB,
+        0.5,
+        1.0,
+        Stream,
+        16,
+        0.02,
+        60,
+        (14.01, 12.91, 0.08, 0.59),
+    ),
+    app(
+        "libquantum",
+        0.35,
+        0.0,
+        0.041,
+        1 * MB,
+        8 * MB,
+        0.0,
+        1.0,
+        Stream,
+        32,
+        0.04,
+        60,
+        (11.67, 11.64, 0.00, 0.34),
+    ),
+    app(
+        "milc",
+        0.35,
+        0.0,
+        0.037,
+        1 * MB,
+        8 * MB,
+        0.0,
+        1.0,
+        Stream,
+        8,
+        0.025,
+        60,
+        (11.31, 11.28, 0.00, 0.71),
+    ),
     // omnetpp / xalancbmk: discrete-event / XML churn — the working set
     // fits the L3 slice (high hit rate) but writes torrentially.
-    app("omnetpp", 0.35, 0.100, 0.0018, 1536 * KB, 64 * MB, 0.50, 0.5, Random, 1, 0.0, 1,
-        (16.22, 0.61, 0.96, 0.78)),
-    app("xalancbmk", 0.35, 0.081, 0.0022, 1536 * KB, 64 * MB, 0.50, 0.5, Random, 1, 0.0, 1,
-        (13.17, 0.76, 0.94, 0.89)),
+    app(
+        "omnetpp",
+        0.35,
+        0.100,
+        0.0018,
+        1536 * KB,
+        64 * MB,
+        0.50,
+        0.5,
+        Random,
+        1,
+        0.0,
+        1,
+        (16.22, 0.61, 0.96, 0.78),
+    ),
+    app(
+        "xalancbmk",
+        0.35,
+        0.081,
+        0.0022,
+        1536 * KB,
+        64 * MB,
+        0.50,
+        0.5,
+        Random,
+        1,
+        0.0,
+        1,
+        (13.17, 0.76, 0.94, 0.89),
+    ),
     // --- medium ----------------------------------------------------------
-    app("leslie3d", 0.32, 0.004, 0.016, 1 * MB, 8 * MB, 0.5, 1.0, Stream, 8, 0.008, 60,
-        (5.24, 4.86, 0.07, 1.33)),
-    with_scans(
-        app("bzip2", 0.30, 0.030, 0.0023, 1536 * KB, 48 * MB, 0.50, 0.4, Random, 2, 0.02, 60,
-            (2.89, 0.69, 0.76, 1.63)),
-        0.6, 8,
+    app(
+        "leslie3d",
+        0.32,
+        0.004,
+        0.016,
+        1 * MB,
+        8 * MB,
+        0.5,
+        1.0,
+        Stream,
+        8,
+        0.008,
+        60,
+        (5.24, 4.86, 0.07, 1.33),
     ),
-    app("gromacs", 0.30, 0.015, 0.0020, 1 * MB, 32 * MB, 0.45, 0.4, Random, 2, 0.025, 60,
-        (1.85, 0.61, 0.67, 1.61)),
-    app("hmmer", 0.30, 0.020, 0.0004, 1 * MB, 32 * MB, 0.50, 0.4, Random, 2, 0.008, 60,
-        (2.20, 0.13, 0.94, 2.61)),
-    app("soplex", 0.30, 0.012, 0.0008, 1536 * KB, 32 * MB, 0.50, 0.4, Random, 1, 0.05, 60,
-        (1.27, 0.25, 0.80, 0.94)),
-    app("h264ref", 0.30, 0.010, 0.0003, 1 * MB, 32 * MB, 0.50, 0.4, Random, 2, 0.015, 60,
-        (1.09, 0.08, 0.93, 2.00)),
+    with_scans(
+        app(
+            "bzip2",
+            0.30,
+            0.030,
+            0.0023,
+            1536 * KB,
+            48 * MB,
+            0.50,
+            0.4,
+            Random,
+            2,
+            0.02,
+            60,
+            (2.89, 0.69, 0.76, 1.63),
+        ),
+        0.6,
+        8,
+    ),
+    app(
+        "gromacs",
+        0.30,
+        0.015,
+        0.0020,
+        1 * MB,
+        32 * MB,
+        0.45,
+        0.4,
+        Random,
+        2,
+        0.025,
+        60,
+        (1.85, 0.61, 0.67, 1.61),
+    ),
+    app(
+        "hmmer",
+        0.30,
+        0.020,
+        0.0004,
+        1 * MB,
+        32 * MB,
+        0.50,
+        0.4,
+        Random,
+        2,
+        0.008,
+        60,
+        (2.20, 0.13, 0.94, 2.61),
+    ),
+    app(
+        "soplex",
+        0.30,
+        0.012,
+        0.0008,
+        1536 * KB,
+        32 * MB,
+        0.50,
+        0.4,
+        Random,
+        1,
+        0.05,
+        60,
+        (1.27, 0.25, 0.80, 0.94),
+    ),
+    app(
+        "h264ref",
+        0.30,
+        0.010,
+        0.0003,
+        1 * MB,
+        32 * MB,
+        0.50,
+        0.4,
+        Random,
+        2,
+        0.015,
+        60,
+        (1.09, 0.08, 0.93, 2.00),
+    ),
     // --- low --------------------------------------------------------------
-    app("sjeng", 0.28, 0.004, 0.0010, 1 * MB, 32 * MB, 0.30, 0.3, Random, 1, 0.04, 60,
-        (0.52, 0.32, 0.41, 1.16)),
-    app("sphinx3", 0.28, 0.0002, 0.0010, 1 * MB, 8 * MB, 0.3, 1.0, Stream, 4, 0.015, 60,
-        (0.30, 0.30, 0.06, 1.96)),
-    app("dealII", 0.28, 0.003, 0.0004, 1 * MB, 32 * MB, 0.50, 0.4, Random, 2, 0.012, 60,
-        (0.33, 0.12, 0.65, 2.27)),
-    with_scans(
-        app("astar", 0.28, 0.0025, 0.0004, 1 * MB, 32 * MB, 0.40, 0.4, Random, 1, 0.015, 60,
-            (0.24, 0.12, 0.54, 2.08)),
-        0.5, 8,
+    app(
+        "sjeng",
+        0.28,
+        0.004,
+        0.0010,
+        1 * MB,
+        32 * MB,
+        0.30,
+        0.3,
+        Random,
+        1,
+        0.04,
+        60,
+        (0.52, 0.32, 0.41, 1.16),
     ),
-    app("povray", 0.25, 0.002, 0.0001, 1 * MB, 32 * MB, 0.35, 0.3, Random, 1, 0.025, 60,
-        (0.18, 0.04, 0.79, 1.57)),
-    app("namd", 0.25, 0.0005, 0.00015, 1 * MB, 32 * MB, 0.30, 0.3, Random, 2, 0.012, 60,
-        (0.04, 0.05, 0.21, 2.34)),
-    app("GemsFDTD", 0.25, 0.0, 0.00003, 1 * MB, 8 * MB, 0.0, 0.3, Stream, 4, 0.02, 60,
-        (0.00, 0.01, 0.00, 1.81)),
+    app(
+        "sphinx3",
+        0.28,
+        0.0002,
+        0.0010,
+        1 * MB,
+        8 * MB,
+        0.3,
+        1.0,
+        Stream,
+        4,
+        0.015,
+        60,
+        (0.30, 0.30, 0.06, 1.96),
+    ),
+    app(
+        "dealII",
+        0.28,
+        0.003,
+        0.0004,
+        1 * MB,
+        32 * MB,
+        0.50,
+        0.4,
+        Random,
+        2,
+        0.012,
+        60,
+        (0.33, 0.12, 0.65, 2.27),
+    ),
+    with_scans(
+        app(
+            "astar",
+            0.28,
+            0.0025,
+            0.0004,
+            1 * MB,
+            32 * MB,
+            0.40,
+            0.4,
+            Random,
+            1,
+            0.015,
+            60,
+            (0.24, 0.12, 0.54, 2.08),
+        ),
+        0.5,
+        8,
+    ),
+    app(
+        "povray",
+        0.25,
+        0.002,
+        0.0001,
+        1 * MB,
+        32 * MB,
+        0.35,
+        0.3,
+        Random,
+        1,
+        0.025,
+        60,
+        (0.18, 0.04, 0.79, 1.57),
+    ),
+    app(
+        "namd",
+        0.25,
+        0.0005,
+        0.00015,
+        1 * MB,
+        32 * MB,
+        0.30,
+        0.3,
+        Random,
+        2,
+        0.012,
+        60,
+        (0.04, 0.05, 0.21, 2.34),
+    ),
+    app(
+        "GemsFDTD",
+        0.25,
+        0.0,
+        0.00003,
+        1 * MB,
+        8 * MB,
+        0.0,
+        0.3,
+        Stream,
+        4,
+        0.02,
+        60,
+        (0.00, 0.01, 0.00, 1.81),
+    ),
 ];
 
 /// Look up an application by name.

@@ -1,47 +1,64 @@
-//! Property-based tests for the synthetic application models.
+//! Property-based tests for the synthetic application models, driven by
+//! seeded `sim-rng` generator loops (hermetic replacement for proptest).
 
-use proptest::prelude::*;
+use sim_rng::SimRng;
 
 use cmp_sim::instr::{Instr, InstrSource};
 use workloads::{workload_mix, AppModel, SPEC_TABLE};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    /// Determinism: any (app, seed) pair regenerates the identical stream.
-    #[test]
-    fn any_app_any_seed_deterministic(app_idx in 0usize..22, seed in any::<u64>()) {
-        let spec = SPEC_TABLE[app_idx];
+/// Determinism: any (app, seed) pair regenerates the identical stream.
+#[test]
+fn any_app_any_seed_deterministic() {
+    let mut rng = SimRng::seed_from_u64(0x307C_0001);
+    for case in 0..CASES {
+        let spec = SPEC_TABLE[rng.gen_range_usize(0..22)];
+        let seed = rng.next_u64();
         let mut a = AppModel::new(spec, seed);
         let mut b = AppModel::new(spec, seed);
         for _ in 0..2_000 {
-            prop_assert_eq!(a.next_instr(), b.next_instr());
+            assert_eq!(
+                a.next_instr(),
+                b.next_instr(),
+                "case {case} ({})",
+                spec.name
+            );
         }
     }
+}
 
-    /// Addresses always fall inside the app's declared regions, and loads
-    /// are word-addressable within the core's 256 MB slice.
-    #[test]
-    fn addresses_bounded(app_idx in 0usize..22, seed in any::<u64>()) {
-        let spec = SPEC_TABLE[app_idx];
+/// Addresses always fall inside the app's declared regions, and loads
+/// are word-addressable within the core's 256 MB slice.
+#[test]
+fn addresses_bounded() {
+    let mut rng = SimRng::seed_from_u64(0x307C_0002);
+    for case in 0..CASES {
+        let spec = SPEC_TABLE[rng.gen_range_usize(0..22)];
+        let seed = rng.next_u64();
         let mut m = AppModel::new(spec, seed);
         for _ in 0..5_000 {
             match m.next_instr() {
                 Instr::Load { vaddr, .. } | Instr::Store { vaddr, .. } => {
-                    prop_assert!(vaddr < 1 << 28, "vaddr {vaddr:#x} outside core slice");
+                    assert!(
+                        vaddr < 1 << 28,
+                        "case {case}: vaddr {vaddr:#x} outside core slice"
+                    );
                 }
-                Instr::Alu { latency } => prop_assert!(latency >= 1),
+                Instr::Alu { latency } => assert!(latency >= 1, "case {case}"),
             }
         }
     }
+}
 
-    /// The memory-op fraction stays within a sane band of the spec for
-    /// every app (the pending read-modify-write stores replace, not add,
-    /// memory slots).
-    #[test]
-    fn mem_fraction_banded(app_idx in 0usize..22) {
-        let spec = SPEC_TABLE[app_idx];
-        let mut m = AppModel::new(spec, 7);
+/// The memory-op fraction stays within a sane band of the spec for
+/// every app (the pending read-modify-write stores replace, not add,
+/// memory slots).
+#[test]
+fn mem_fraction_banded() {
+    // Exhaustive over apps rather than sampled: 22 cases, one per spec.
+    for spec in SPEC_TABLE.iter() {
+        let mut m = AppModel::new(*spec, 7);
         let n = 60_000;
         let mut mem = 0usize;
         for _ in 0..n {
@@ -50,25 +67,27 @@ proptest! {
             }
         }
         let frac = mem as f64 / n as f64;
-        prop_assert!(
+        assert!(
             (frac - spec.mem_frac).abs() < 0.05,
             "{}: measured {frac:.3} vs spec {:.3}",
             spec.name,
             spec.mem_frac
         );
     }
+}
 
-    /// Workload mixes are deterministic and structurally sound for any id.
-    #[test]
-    fn mixes_sound(id in 1usize..=10) {
+/// Workload mixes are deterministic and structurally sound for any id.
+#[test]
+fn mixes_sound() {
+    for id in 1..=10 {
         let a = workload_mix(id, 16);
         let b = workload_mix(id, 16);
         let names_a: Vec<_> = a.apps.iter().map(|s| s.name).collect();
         let names_b: Vec<_> = b.apps.iter().map(|s| s.name).collect();
-        prop_assert_eq!(names_a, names_b);
-        prop_assert_eq!(a.apps.len(), 16);
+        assert_eq!(names_a, names_b);
+        assert_eq!(a.apps.len(), 16);
         let (h, m, l) = a.intensity_mix();
-        prop_assert_eq!(h + m + l, 16);
-        prop_assert!(h >= 2);
+        assert_eq!(h + m + l, 16);
+        assert!(h >= 2, "WL{id}: {h} high-intensity apps");
     }
 }

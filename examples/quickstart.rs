@@ -41,7 +41,11 @@ fn main() {
     println!("\nScheme: {}", result.scheme);
     println!("Measured window: {} cycles", result.cycles);
     println!("System throughput: {:.2} IPC", result.total_ipc());
-    println!("Average MPKI: {:.2}, average WPKI: {:.2}", result.avg_mpki(), result.avg_wpki());
+    println!(
+        "Average MPKI: {:.2}, average WPKI: {:.2}",
+        result.avg_mpki(),
+        result.avg_wpki()
+    );
 
     println!("\nPer-bank L3 writes (the quantity Re-NUCA wear-levels):");
     for (bank, writes) in result.bank_writes.iter().enumerate() {

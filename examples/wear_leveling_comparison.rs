@@ -23,7 +23,7 @@ fn build_sources(cfg: &SystemConfig) -> Vec<Box<dyn InstrSource>> {
     (0..cfg.n_cores)
         .map(|core| {
             let spec = match core {
-                5 => mcf,    // center-ish tile: its R-NUCA cluster is visible
+                5 => mcf, // center-ish tile: its R-NUCA cluster is visible
                 10 => stream,
                 _ => quiet,
             };
@@ -54,12 +54,16 @@ fn main() {
         let lifetimes = model.all_bank_lifetimes(&r.wear, r.cycles);
         let min_life = lifetimes.iter().cloned().fold(f64::INFINITY, f64::min);
         let total: u64 = r.bank_writes.iter().sum();
-        let max_share = *r.bank_writes.iter().max().unwrap_or(&0) as f64
-            / total.max(1) as f64
-            * 100.0;
+        let max_share =
+            *r.bank_writes.iter().max().unwrap_or(&0) as f64 / total.max(1) as f64 * 100.0;
 
-        println!("{:8}  ipc={:6.2}  min-lifetime={:6.1}y  hottest bank takes {:4.1}% of writes",
-            scheme.name(), r.total_ipc(), min_life, max_share);
+        println!(
+            "{:8}  ipc={:6.2}  min-lifetime={:6.1}y  hottest bank takes {:4.1}% of writes",
+            scheme.name(),
+            r.total_ipc(),
+            min_life,
+            max_share
+        );
         print!("          writes:");
         for w in &r.bank_writes {
             print!(" {:6}", w);

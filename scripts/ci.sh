@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate for the renuca workspace. Everything here must pass offline —
+# the workspace is hermetic (in-tree path crates only, see README).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "== examples =="
+cargo build --examples
+
+echo "== bench targets compile =="
+cargo build --benches --release --workspace
+
+echo "== formatting =="
+cargo fmt --check
+
+echo "CI OK"

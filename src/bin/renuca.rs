@@ -37,10 +37,12 @@ fn parse(args: &[String]) -> Args {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| -> String {
-            it.next().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
-                usage()
-            }).clone()
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
         };
         match a.as_str() {
             "--scheme" => {
@@ -56,9 +58,7 @@ fn parse(args: &[String]) -> Args {
                     }
                 }
             }
-            "--workload" => {
-                out.workload = value("--workload").parse().unwrap_or_else(|_| usage())
-            }
+            "--workload" => out.workload = value("--workload").parse().unwrap_or_else(|_| usage()),
             "--warmup" => out.budget.warmup = value("--warmup").parse().unwrap_or_else(|_| usage()),
             "--measure" => {
                 out.budget.measure = value("--measure").parse().unwrap_or_else(|_| usage())
@@ -106,7 +106,9 @@ fn print_result(r: &SimResult) {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = argv.split_first() else { usage() };
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage()
+    };
     match cmd.as_str() {
         "run" => {
             let a = parse(rest);

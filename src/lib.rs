@@ -15,7 +15,9 @@
 //! * [`wear`] (`wear-model`) — ReRAM endurance accounting and
 //!   lifetime-in-years extrapolation;
 //! * [`experiments`] — one module per paper table/figure;
-//! * [`stats`] (`sim-stats`) — counters, histograms, summaries, rendering.
+//! * [`stats`] (`sim-stats`) — counters, histograms, summaries, rendering;
+//! * [`rng`] (`sim-rng`) — the hermetic deterministic RNG seeding every
+//!   workload model and property test.
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@
 pub use cmp_sim as sim;
 pub use experiments;
 pub use renuca_core as core_policies;
+pub use sim_rng as rng;
 pub use sim_stats as stats;
 pub use wear_model as wear;
 pub use workloads;
@@ -51,8 +54,7 @@ pub use workloads;
 /// The most commonly used items, for `use renuca::prelude::*`.
 pub mod prelude {
     pub use cmp_sim::{
-        config::SystemConfig, instr::Instr, instr::InstrSource, system::SimResult,
-        system::System,
+        config::SystemConfig, instr::Instr, instr::InstrSource, system::SimResult, system::System,
     };
     pub use experiments::{Budget, SchemeStudy};
     pub use renuca_core::{Cpt, CptConfig, EnhancedTlb, ReNuca, SNuca, Scheme};
