@@ -13,12 +13,24 @@ use cmp_sim::config::{CacheGeometry, NocConfig, SystemConfig};
 use cmp_sim::dram::Dram;
 use cmp_sim::instr::InstrSource;
 use cmp_sim::noc::Mesh;
-use cmp_sim::placement::CriticalityPredictor;
+use cmp_sim::placement::{AccessMeta, CriticalityPredictor, LlcAccessKind, LlcPlacement};
 use cmp_sim::system::System;
 use cmp_sim::tlb::Tlb;
-use renuca_core::{Cpt, CptConfig, Scheme};
+use cmp_sim::types::{page_of_line, phys_addr};
+use renuca_core::{Cpt, CptConfig, NaiveOracle, RNuca, ReNuca, SNuca, Scheme};
 use wear_model::WearTracker;
 use workloads::{workload_mix, AppModel};
+
+fn access_meta(line: u64, critical: bool) -> AccessMeta {
+    AccessMeta {
+        core: 0,
+        line,
+        page: page_of_line(line),
+        pc: 1,
+        kind: LlcAccessKind::Demand,
+        predicted_critical: critical,
+    }
+}
 
 fn bench_cache() {
     let geo = CacheGeometry {
@@ -97,6 +109,80 @@ fn bench_tlb() {
     .report();
 }
 
+fn bench_placement() {
+    // The per-access hot loop of every experiment: one lookup_bank (and on
+    // a miss one fill_bank) per L2 miss. Address streams are strided so
+    // the structures behind each policy (MBV TLB + backing store, Naive
+    // directory) are actually exercised, not just the arithmetic.
+    {
+        let mut s = SNuca::new(16);
+        let mut line = 0u64;
+        bench("placement/snuca_lookup_bank", move || {
+            line = line.wrapping_add(0x9E37_79B9);
+            black_box(s.lookup_bank(&access_meta(line, false)))
+        })
+        .report();
+    }
+    {
+        let mut r = RNuca::new(4, 4);
+        let mut i = 0u64;
+        bench("placement/rnuca_lookup_bank", move || {
+            i = i.wrapping_add(1);
+            let line = phys_addr((i & 15) as usize, i.wrapping_mul(977) & 0xfff_ffff) >> 6;
+            black_box(r.lookup_bank(&access_meta(line, false)))
+        })
+        .report();
+    }
+    {
+        // Working set of 4096 pages against a 64-entry TLB: essentially
+        // every lookup faults the page's MBV in from the backing store,
+        // which is the structure this bench regression-tracks. Half the
+        // pages hold a critical line so the store is populated.
+        let mut re = ReNuca::new(4, 4);
+        for p in (0..4096u64).step_by(2) {
+            let line = phys_addr(0, p * 4096) >> 6;
+            let m = access_meta(line, true);
+            let b = re.fill_bank(&m);
+            re.on_fill(&m, b);
+        }
+        let mut i = 0u64;
+        bench("placement/renuca_lookup_bank", move || {
+            i = i.wrapping_add(1);
+            let page = i.wrapping_mul(2654435761) & 4095;
+            let line = phys_addr(0, page * 4096 + (i & 63) * 64) >> 6;
+            black_box(re.lookup_bank(&access_meta(line, false)))
+        })
+        .report();
+    }
+    {
+        let mut re = ReNuca::new(4, 4);
+        let mut i = 0u64;
+        bench("placement/renuca_fill_bank", move || {
+            i = i.wrapping_add(1);
+            let line = phys_addr((i & 15) as usize, i.wrapping_mul(977) & 0xfff_ffff) >> 6;
+            black_box(re.fill_bank(&access_meta(line, i & 1 == 0)))
+        })
+        .report();
+    }
+    {
+        // Directory-resident lookups: the Naive oracle's per-access map
+        // probe over an L3-sized population.
+        let mut n = NaiveOracle::new(16, 150);
+        for i in 0..65_536u64 {
+            let m = access_meta(i * 7, false);
+            let b = n.fill_bank(&m);
+            n.on_fill(&m, b);
+        }
+        let mut i = 0u64;
+        bench("placement/naive_lookup_bank", move || {
+            i = i.wrapping_add(1);
+            let line = (i.wrapping_mul(2654435761) & 65_535) * 7;
+            black_box(n.lookup_bank(&access_meta(line, false)))
+        })
+        .report();
+    }
+}
+
 fn bench_workload_gen() {
     let spec = *workloads::app_by_name("mcf").unwrap();
     let mut model = AppModel::new(spec, 1);
@@ -145,6 +231,7 @@ fn main() {
     bench_mesh();
     bench_dram();
     bench_tlb();
+    bench_placement();
     bench_workload_gen();
     bench_wear();
     bench_full_system();

@@ -16,8 +16,7 @@
 //! invalidation that multiprogrammed runs never exercise) is implemented and
 //! unit-tested so the substrate is reusable for shared-memory workloads.
 
-use std::collections::HashMap;
-
+use crate::table::FixedTable;
 use crate::types::CoreId;
 use sim_stats::Counter;
 
@@ -35,7 +34,7 @@ pub enum Mesi {
 }
 
 /// Directory record for one line: which cores hold it and in what state.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct DirEntry {
     /// Bitmask of sharer cores (bit i = core i).
     pub sharers: u32,
@@ -68,18 +67,40 @@ pub struct CoherenceStats {
 /// The home directory: line → sharer set.
 ///
 /// Capacity is bounded by the total private-cache capacity (Σ L2 lines),
-/// since entries are removed when the last private copy disappears.
-#[derive(Clone, Debug, Default)]
+/// since entries are removed when the last private copy disappears; the
+/// backing [`FixedTable`] enforces that bound so a bookkeeping leak fails
+/// loudly instead of growing memory over a long run.
+#[derive(Clone, Debug)]
 pub struct Directory {
-    entries: HashMap<u64, DirEntry>,
+    entries: FixedTable<DirEntry>,
     /// Event counters.
     pub stats: CoherenceStats,
 }
 
+impl Default for Directory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Directory {
-    /// An empty directory.
+    /// An empty directory with the default generous capacity bound (unit
+    /// tests and ad-hoc use; the hierarchy sizes its directory exactly via
+    /// [`Directory::with_capacity`]).
     pub fn new() -> Self {
-        Self::default()
+        Directory {
+            entries: FixedTable::default(),
+            stats: CoherenceStats::default(),
+        }
+    }
+
+    /// An empty directory bounded to `max_lines` tracked lines (Σ private
+    /// L2 lines plus in-flight slack).
+    pub fn with_capacity(max_lines: usize) -> Self {
+        Directory {
+            entries: FixedTable::with_capacity(max_lines.min(4096), max_lines),
+            stats: CoherenceStats::default(),
+        }
     }
 
     /// Number of tracked lines.
@@ -94,7 +115,7 @@ impl Directory {
 
     /// Current sharers of a line.
     pub fn entry(&self, line: u64) -> Option<&DirEntry> {
-        self.entries.get(&line)
+        self.entries.get(line)
     }
 
     /// A core fetches a line for reading. Returns the MESI state granted.
@@ -102,7 +123,7 @@ impl Directory {
     /// sharing; dirty data forwarding is charged by the hierarchy).
     pub fn read(&mut self, line: u64, core: CoreId) -> Mesi {
         let bit = 1u32 << core;
-        match self.entries.get_mut(&line) {
+        match self.entries.get_mut(line) {
             None => {
                 self.entries.insert(
                     line,
@@ -135,10 +156,7 @@ impl Directory {
     /// are invalidated; returns how many invalidations were sent.
     pub fn write(&mut self, line: u64, core: CoreId) -> u32 {
         let bit = 1u32 << core;
-        let e = self.entries.entry(line).or_insert(DirEntry {
-            sharers: 0,
-            exclusive: false,
-        });
+        let e = self.entries.get_or_insert_with(line, DirEntry::default);
         let others = (e.sharers & !bit).count_ones();
         e.sharers = bit;
         e.exclusive = true;
@@ -151,10 +169,10 @@ impl Directory {
     /// (dirty eviction) — either way it stops being a sharer.
     pub fn evict(&mut self, line: u64, core: CoreId) {
         let bit = 1u32 << core;
-        if let Some(e) = self.entries.get_mut(&line) {
+        if let Some(e) = self.entries.get_mut(line) {
             e.sharers &= !bit;
             if e.sharers == 0 {
-                self.entries.remove(&line);
+                self.entries.remove(line);
             } else if e.n_sharers() == 1 {
                 // Last man standing could be promoted to E; real MESI keeps
                 // it S until it re-requests. We keep S (conservative).
@@ -168,7 +186,7 @@ impl Directory {
     /// performs the actual private-cache invalidation and any dirty
     /// writeback.
     pub fn back_invalidate(&mut self, line: u64) -> Vec<CoreId> {
-        match self.entries.remove(&line) {
+        match self.entries.remove(line) {
             None => Vec::new(),
             Some(e) => {
                 let holders: Vec<CoreId> = (0..32).filter(|c| e.sharers & (1 << c) != 0).collect();

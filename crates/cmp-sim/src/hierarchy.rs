@@ -18,14 +18,13 @@
 //! copies through the MESI directory (and trigger the policy's `on_evict`,
 //! which is what resets Re-NUCA's Mapping Bit Vector).
 
-use std::collections::HashMap;
-
 use crate::cache::{LookupResult, SetAssocCache};
 use crate::coherence::Directory;
 use crate::config::{PrefetchConfig, SystemConfig};
 use crate::dram::Dram;
 use crate::noc::Mesh;
 use crate::placement::{AccessMeta, LlcAccessKind, LlcPlacement};
+use crate::table::FixedTable;
 use crate::types::{page_of_line, BankId, CoreId, Cycle, Pc};
 use sim_stats::Counter;
 use wear_model::WearTracker;
@@ -125,8 +124,9 @@ pub struct MemoryHierarchy {
     /// Global counters.
     pub stats: HierarchyStats,
     /// Criticality recorded per resident L3 line (Figure 9 bookkeeping),
-    /// enabled by `SystemConfig::track_block_criticality`.
-    block_criticality: Option<HashMap<u64, bool>>,
+    /// enabled by `SystemConfig::track_block_criticality`. Bounded by the
+    /// L3 capacity (entries are removed on eviction).
+    block_criticality: Option<FixedTable<bool>>,
     prefetch_cfg: PrefetchConfig,
     /// Per-core stride tables.
     streams: Vec<Vec<StreamEntry>>,
@@ -168,12 +168,21 @@ impl MemoryHierarchy {
                 .collect(),
             mesh,
             dram: Dram::new(cfg.dram),
-            dir: Directory::new(),
+            // Directory bound: the inclusive hierarchy caps tracked lines
+            // at Σ L2 lines, plus one in-flight grant per core (a line is
+            // granted before its L2 victim is evicted).
+            dir: Directory::with_capacity(cfg.n_cores * cfg.l2.lines() + cfg.n_cores),
             wear: WearTracker::new(cfg.n_banks, cfg.l3_bank.lines()),
             policy,
             per_core: vec![PerCoreMemStats::default(); cfg.n_cores],
             stats: HierarchyStats::default(),
-            block_criticality: cfg.track_block_criticality.then(HashMap::new),
+            // Criticality-tracker bound: one entry per resident L3 line,
+            // plus one in-flight fill per bank (the fill is recorded
+            // before its victim is evicted).
+            block_criticality: cfg.track_block_criticality.then(|| {
+                let bound = cfg.n_banks * cfg.l3_bank.lines() + cfg.n_banks;
+                FixedTable::with_capacity(bound.min(4096), bound)
+            }),
             prefetch_cfg: cfg.prefetch,
             streams: vec![vec![StreamEntry::default(); cfg.prefetch.streams]; cfg.n_cores],
             stream_clock: 0,
@@ -578,7 +587,7 @@ impl MemoryHierarchy {
             self.stats.l3_writebacks_to_dram.inc();
         }
         if let Some(map) = self.block_criticality.as_mut() {
-            map.remove(&victim);
+            map.remove(victim);
         }
         self.policy.on_evict(victim, bank);
     }
@@ -670,7 +679,7 @@ impl MemoryHierarchy {
         }
         self.stats.l3_writes.inc();
         if let Some(map) = self.block_criticality.as_ref() {
-            if !map.get(&line).copied().unwrap_or(false) {
+            if !map.get(line).copied().unwrap_or(false) {
                 self.stats.l3_writes_noncritical.inc();
             }
         }

@@ -18,6 +18,9 @@
 //!   row-buffer policy and bandwidth/occupancy modelling,
 //! * [`tlb`] — a set-associative TLB with pluggable per-entry payload (the
 //!   Re-NUCA *Mapping Bit Vector* rides in that payload),
+//! * [`table`] — the bounded open-addressed address→value table backing
+//!   every per-access map (coherence directory, Naive directory, Enhanced
+//!   TLB backing store, block-criticality tracker),
 //! * [`cpu`] — a trace-driven out-of-order core: ROB with in-order commit,
 //!   head-of-ROB stall detection (the signal the criticality predictor
 //!   consumes), MSHR-limited memory-level parallelism,
@@ -45,6 +48,7 @@ pub mod noc;
 pub mod placement;
 pub mod reserve;
 pub mod system;
+pub mod table;
 pub mod tlb;
 pub mod types;
 
@@ -52,4 +56,5 @@ pub use config::SystemConfig;
 pub use instr::{Instr, InstrSource};
 pub use placement::{AccessMeta, CriticalityPredictor, LlcAccessKind, LlcPlacement};
 pub use system::{SimResult, System};
+pub use table::FixedTable;
 pub use types::{BankId, CoreId, Cycle, Pc};

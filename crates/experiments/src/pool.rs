@@ -12,21 +12,41 @@
 //! into the slot matching the item's position, so output order never
 //! depends on completion order.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
-/// Worker threads to use: `RENUCA_THREADS` when set, otherwise the
-/// machine's available parallelism (at least 1).
+/// Worker threads to use: `RENUCA_THREADS` when set to a positive integer,
+/// otherwise the machine's available parallelism (at least 1). An invalid
+/// `RENUCA_THREADS` is reported on stderr before falling back, so a
+/// misconfigured run (`RENUCA_THREADS=all`, `=0`, stray whitespace…) is
+/// visible instead of silently using every core.
 pub fn default_threads() -> usize {
-    std::env::var("RENUCA_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    match std::env::var("RENUCA_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => eprintln!(
+                "warning: RENUCA_THREADS={v:?} is not a positive integer; \
+                 falling back to available parallelism"
+            ),
+        },
+        Err(std::env::VarError::NotPresent) => {}
+        Err(e) => eprintln!(
+            "warning: RENUCA_THREADS is unreadable ({e}); \
+             falling back to available parallelism"
+        ),
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Lock a mutex whether or not it is poisoned. The pool catches worker
+/// panics itself (re-raising the first one), so a poisoned lock carries no
+/// information here — recovering the guard keeps sibling slots readable
+/// instead of replacing the original panic with a `PoisonError` abort.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Apply `f` to every item on up to [`default_threads`] workers, returning
@@ -54,25 +74,47 @@ where
     }
 
     let next = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
+    let payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if panicked.load(Ordering::Relaxed) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                let r = f(&items[i]);
-                *slots[i].lock().unwrap() = Some(r);
+                // Catch the panic on the worker so (a) the original payload
+                // survives to be re-raised on the caller's thread and (b) no
+                // mutex is poisoned mid-store, which would turn siblings'
+                // results into `PoisonError` aborts.
+                match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(r) => *lock_unpoisoned(&slots[i]) = Some(r),
+                    Err(p) => {
+                        let mut first = lock_unpoisoned(&payload);
+                        if first.is_none() {
+                            *first = Some(p);
+                        }
+                        panicked.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
             });
         }
     });
+    if let Some(p) = lock_unpoisoned(&payload).take() {
+        // Re-raise the first worker's panic with its payload intact.
+        resume_unwind(p);
+    }
     slots
         .into_iter()
         .enumerate()
         .map(|(i, slot)| {
             slot.into_inner()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .unwrap_or_else(|| panic!("pool: slot {i} never filled"))
         })
         .collect()
@@ -102,6 +144,59 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn invalid_renuca_threads_falls_back() {
+        // One test owns the env var (parallel test threads share it).
+        for bad in ["all", "0", "-3", "4x"] {
+            std::env::set_var("RENUCA_THREADS", bad);
+            assert!(default_threads() >= 1, "RENUCA_THREADS={bad}");
+        }
+        std::env::set_var("RENUCA_THREADS", " 3 ");
+        assert_eq!(default_threads(), 3, "surrounding whitespace is fine");
+        std::env::remove_var("RENUCA_THREADS");
+    }
+
+    #[test]
+    fn worker_panic_propagates_original_message() {
+        let items: Vec<u64> = (0..64).collect();
+        let err = std::panic::catch_unwind(|| {
+            parallel_map_threads(&items, 4, |&x| {
+                if x == 13 {
+                    panic!("boom at item {x}");
+                }
+                x * 2
+            })
+        })
+        .expect_err("a worker panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("boom at item 13"),
+            "original panic payload must survive, got {msg:?}"
+        );
+    }
+
+    #[test]
+    fn one_of_many_panics_surfaces_without_poison_abort() {
+        // Several workers panic concurrently: exactly one original payload
+        // (any of them) must come back — never a PoisonError panic.
+        let items: Vec<u64> = (0..128).collect();
+        let err = std::panic::catch_unwind(|| {
+            parallel_map_threads(&items, 8, |&x| {
+                if x % 2 == 1 {
+                    panic!("odd item {x}");
+                }
+                x
+            })
+        })
+        .expect_err("panics must propagate");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.starts_with("odd item "), "got {msg:?}");
     }
 
     #[test]

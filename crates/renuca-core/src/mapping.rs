@@ -3,18 +3,27 @@
 //! All policies implement [`cmp_sim::placement::LlcPlacement`]. Bank ids
 //! coincide with mesh tile ids (one bank per core tile, paper Table I).
 
-use std::collections::HashMap;
-
 use cmp_sim::placement::{AccessMeta, LlcPlacement};
+use cmp_sim::table::FixedTable;
 use cmp_sim::types::{line_index_in_page, owner_of_line, BankId, CoreId, Cycle};
 
 use crate::tlb::EnhancedTlb;
 
 /// The owning core of a line, clamped into the machine (test traces may use
 /// raw low addresses whose owner bits decode past `n_cores`).
+///
+/// Masking with `n_cores - 1` is only a clamp when `n_cores` is a power of
+/// two; for any other machine size it silently decodes wrong owners (e.g.
+/// core 5 of 6 would alias onto core 4), so non-pow2 counts take the modulo
+/// path.
 #[inline]
 fn owner(line: u64, n_cores: usize) -> CoreId {
-    owner_of_line(line) & (n_cores - 1)
+    let raw = owner_of_line(line);
+    if n_cores.is_power_of_two() {
+        raw & (n_cores - 1)
+    } else {
+        raw % n_cores
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -26,22 +35,30 @@ fn owner(line: u64, n_cores: usize) -> CoreId {
 /// spread evenly — the wear-leveling baseline.
 #[derive(Clone, Copy, Debug)]
 pub struct SNuca {
-    mask: u64,
+    n_banks: u64,
+    /// `n_banks - 1` when `n_banks` is a power of two — the mask fast path
+    /// every pow2 configuration takes. `None` falls back to modulo.
+    mask: Option<u64>,
 }
 
 impl SNuca {
-    /// S-NUCA over `n_banks` banks (must be a power of two).
+    /// S-NUCA over `n_banks` banks (pow2 counts stripe by mask, others by
+    /// modulo).
     pub fn new(n_banks: usize) -> Self {
-        assert!(n_banks.is_power_of_two(), "bank masking needs pow2");
+        assert!(n_banks > 0, "need at least one bank");
         SNuca {
-            mask: n_banks as u64 - 1,
+            n_banks: n_banks as u64,
+            mask: n_banks.is_power_of_two().then(|| n_banks as u64 - 1),
         }
     }
 
     /// The bank a line maps to.
     #[inline]
     pub fn bank_of(&self, line: u64) -> BankId {
-        (line & self.mask) as BankId
+        match self.mask {
+            Some(m) => (line & m) as BankId,
+            None => (line % self.n_banks) as BankId,
+        }
     }
 }
 
@@ -165,9 +182,10 @@ pub struct PrivateMap {
 }
 
 impl PrivateMap {
-    /// Private banks for `n_cores` cores.
+    /// Private banks for `n_cores` cores (any positive count — [`owner`]
+    /// clamps correctly for non-pow2 machines too).
     pub fn new(n_cores: usize) -> Self {
-        assert!(n_cores.is_power_of_two());
+        assert!(n_cores > 0, "need at least one core");
         PrivateMap { n_cores }
     }
 }
@@ -196,18 +214,28 @@ impl LlcPlacement for PrivateMap {
 #[derive(Clone, Debug)]
 pub struct NaiveOracle {
     writes: Vec<u64>,
-    directory: HashMap<u64, BankId>,
+    directory: FixedTable<BankId>,
     dir_latency: Cycle,
     fallback: SNuca,
 }
 
 impl NaiveOracle {
     /// A Naive oracle over `n_banks` banks charging `dir_latency` cycles of
-    /// directory indirection per LLC lookup.
+    /// directory indirection per LLC lookup, sized for the paper's 2 MB
+    /// banks (32 K lines each). Use [`NaiveOracle::with_line_capacity`]
+    /// when the bank geometry differs.
     pub fn new(n_banks: usize, dir_latency: Cycle) -> Self {
+        Self::with_line_capacity(n_banks, dir_latency, n_banks * 32_768)
+    }
+
+    /// A Naive oracle whose directory is bounded to `max_lines` tracked
+    /// lines (the LLC capacity in lines — entries are removed on eviction,
+    /// with one in-flight fill per bank of slack).
+    pub fn with_line_capacity(n_banks: usize, dir_latency: Cycle, max_lines: usize) -> Self {
+        let bound = max_lines + n_banks;
         NaiveOracle {
             writes: vec![0; n_banks],
-            directory: HashMap::new(),
+            directory: FixedTable::with_capacity(bound.min(4096), bound),
             dir_latency,
             fallback: SNuca::new(n_banks),
         }
@@ -245,7 +273,7 @@ impl LlcPlacement for NaiveOracle {
         // resident; probe the S-NUCA home (the miss will be detected there
         // and `fill_bank` decides the real placement).
         self.directory
-            .get(&meta.line)
+            .get(meta.line)
             .copied()
             .unwrap_or_else(|| self.fallback.bank_of(meta.line))
     }
@@ -259,7 +287,7 @@ impl LlcPlacement for NaiveOracle {
         self.writes[bank] += 1;
     }
     fn on_evict(&mut self, line: u64, bank: BankId) {
-        let removed = self.directory.remove(&line);
+        let removed = self.directory.remove(line);
         debug_assert_eq!(removed, Some(bank), "directory out of sync");
     }
     fn lookup_overhead(&self) -> Cycle {

@@ -57,7 +57,11 @@ impl Scheme {
             Scheme::SNuca => Box::new(SNuca::new(cfg.n_banks)),
             Scheme::RNuca => Box::new(RNuca::new(cfg.noc.cols, cfg.noc.rows)),
             Scheme::Private => Box::new(PrivateMap::new(cfg.n_cores)),
-            Scheme::Naive => Box::new(NaiveOracle::new(cfg.n_banks, cfg.naive_dir_latency)),
+            Scheme::Naive => Box::new(NaiveOracle::with_line_capacity(
+                cfg.n_banks,
+                cfg.naive_dir_latency,
+                cfg.n_banks * cfg.l3_bank.lines(),
+            )),
             Scheme::ReNuca => Box::new(ReNuca::with_tlb_geometry(
                 cfg.noc.cols,
                 cfg.noc.rows,

@@ -21,15 +21,21 @@
 //! cycles of memory access and the mapping information is available when
 //! accessing LLC", §I).
 
-use std::collections::HashMap;
-
+use cmp_sim::table::FixedTable;
 use cmp_sim::tlb::{Tlb, TlbStats};
+
+/// Bound on pages with non-zero MBVs parked in one core's backing store.
+/// Non-zero vectors exist only for pages holding R-NUCA-resident lines, so
+/// the true bound is the LLC line count; 2^20 pages (4 GB of critical
+/// pages) is far beyond any simulated footprint and exists only to turn a
+/// reset-bookkeeping leak into a loud failure.
+const BACKING_BOUND: usize = 1 << 20;
 
 /// A per-core enhanced TLB: translation entries carrying MBVs, with a
 /// page-table backing store for evicted vectors.
 pub struct EnhancedTlb {
     tlb: Tlb<u64>,
-    backing: HashMap<u64, u64>,
+    backing: FixedTable<u64>,
 }
 
 impl EnhancedTlb {
@@ -39,7 +45,7 @@ impl EnhancedTlb {
         // core's dTLB; the MBV rides along for free.
         EnhancedTlb {
             tlb: Tlb::new(entries, assoc, 0),
-            backing: HashMap::new(),
+            backing: FixedTable::with_capacity(entries, BACKING_BOUND),
         }
     }
 
@@ -68,7 +74,7 @@ impl EnhancedTlb {
             }
             return;
         }
-        let entry = self.backing.entry(page).or_insert(0);
+        let entry = self.backing.get_or_insert_with(page, || 0);
         if value {
             *entry |= mask;
         } else {
@@ -77,7 +83,7 @@ impl EnhancedTlb {
         if *entry == 0 {
             // Keep the side structure sparse: all-zero vectors are the
             // default and need no storage.
-            self.backing.remove(&page);
+            self.backing.remove(page);
         }
     }
 
@@ -86,7 +92,7 @@ impl EnhancedTlb {
         self.tlb
             .payload(page)
             .copied()
-            .or_else(|| self.backing.get(&page).copied())
+            .or_else(|| self.backing.get(page).copied())
             .unwrap_or(0)
     }
 
@@ -107,7 +113,7 @@ impl EnhancedTlb {
             self.tlb.access(page, |_| unreachable!("resident"));
             return mbv;
         }
-        let refill = self.backing.remove(&page).unwrap_or(0);
+        let refill = self.backing.remove(page).unwrap_or(0);
         let acc = self.tlb.access(page, |_| refill);
         if let Some((evicted_page, mbv)) = acc.evicted {
             if mbv != 0 {

@@ -5,7 +5,7 @@ use sim_rng::SimRng;
 
 use cmp_sim::placement::{AccessMeta, CriticalityPredictor, LlcAccessKind, LlcPlacement};
 use cmp_sim::types::{page_of_line, phys_addr};
-use renuca_core::{Cpt, CptConfig, EnhancedTlb, NaiveOracle, RNuca, ReNuca, SNuca};
+use renuca_core::{Cpt, CptConfig, EnhancedTlb, NaiveOracle, PrivateMap, RNuca, ReNuca, SNuca};
 
 const CASES: usize = 64;
 
@@ -175,6 +175,69 @@ fn enhanced_tlb_matches_reference() {
         for (&page, &bits) in &reference {
             assert_eq!(tlb.mbv(page), bits, "case {case}: page {page}");
         }
+    }
+}
+
+/// Every policy returns an in-range bank for *arbitrary* 64-bit line
+/// addresses on machines of 1, 3, 6, 12 and 16 cores — the non-pow2 counts
+/// would have tripped the old `& (n_cores - 1)` owner clamp, and random
+/// lines exercise raw owner bits far past `n_cores`.
+#[test]
+fn all_policies_stay_in_range_on_any_core_count() {
+    // (cols, rows) meshes: 1x1, 3x1, 3x2, 4x3, 4x4 (one bank per core).
+    let meshes = [(1usize, 1usize), (3, 1), (3, 2), (4, 3), (4, 4)];
+    let mut rng = SimRng::seed_from_u64(0x4E0C_0007);
+    for (cols, rows) in meshes {
+        let n = cols * rows;
+        let mut policies: Vec<Box<dyn LlcPlacement>> = vec![
+            Box::new(SNuca::new(n)),
+            Box::new(RNuca::new(cols, rows)),
+            Box::new(PrivateMap::new(n)),
+            Box::new(NaiveOracle::new(n, 0)),
+            Box::new(ReNuca::new(cols, rows)),
+        ];
+        for case in 0..CASES {
+            // Mix fully random lines with realistic in-machine addresses.
+            let line = if case % 2 == 0 {
+                rng.next_u64() >> 1
+            } else {
+                phys_addr(rng.gen_range_usize(0..n), rng.next_u64() & 0xfff_ffc0) >> 6
+            };
+            for critical in [false, true] {
+                let m = meta(line, critical);
+                for p in policies.iter_mut() {
+                    let name = p.name();
+                    let lb = p.lookup_bank(&m);
+                    assert!(lb < n, "{name} {n}-core lookup: bank {lb} line {line:#x}");
+                    let fb = p.fill_bank(&m);
+                    assert!(fb < n, "{name} {n}-core fill: bank {fb} line {line:#x}");
+                }
+            }
+        }
+    }
+}
+
+/// Regression for the owner-decoding bug: `raw & (n_cores - 1)` is not a
+/// clamp for non-pow2 machines. On 6 cores the old mask sent core 3's lines
+/// (0b011 & 0b101 = 0b001) to core 1's private bank. Exact decoding must
+/// route every core's own lines to its own bank, and out-of-range raw
+/// owners must wrap by modulo.
+#[test]
+fn owner_decoding_is_exact_on_non_pow2_machines() {
+    for n_cores in [1usize, 3, 6, 12] {
+        let mut p = PrivateMap::new(n_cores);
+        for core in 0..n_cores {
+            for off in [0u64, 0x40, 0x7f_ffc0] {
+                let line = phys_addr(core, off) >> 6;
+                let m = meta(line, false);
+                assert_eq!(p.lookup_bank(&m), core, "{n_cores} cores");
+                assert_eq!(p.fill_bank(&m), core, "{n_cores} cores");
+            }
+        }
+        // A raw owner one past the machine wraps to core 0 (modulo), never
+        // to a masked alias.
+        let beyond = phys_addr(n_cores, 0x40) >> 6;
+        assert_eq!(p.lookup_bank(&meta(beyond, false)), 0, "{n_cores} cores");
     }
 }
 

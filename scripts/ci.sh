@@ -19,6 +19,20 @@ cargo build --examples
 echo "== bench targets compile =="
 cargo build --benches --release --workspace
 
+echo "== bench smoke: short run emits well-formed JSON lines =="
+BENCH_OUT="$(RENUCA_BENCH_SAMPLES=2 cargo bench -p bench --bench micro 2>/dev/null \
+    | grep '^{"bench"')"
+BENCH_N="$(printf '%s\n' "$BENCH_OUT" | wc -l)"
+BENCH_BAD="$(printf '%s\n' "$BENCH_OUT" | grep -cvE \
+    '^\{"bench":"[^"]+","kind":"micro","samples":[0-9]+,"iters_per_sample":[0-9]+,"min_ns":[0-9.eE+-]+,"mean_ns":[0-9.eE+-]+,"median_ns":[0-9.eE+-]+,"p95_ns":[0-9.eE+-]+\}$' \
+    || true)"
+if [ "$BENCH_N" -lt 10 ] || [ "$BENCH_BAD" -ne 0 ]; then
+    echo "bench smoke FAILED: $BENCH_N lines, $BENCH_BAD malformed"
+    printf '%s\n' "$BENCH_OUT"
+    exit 1
+fi
+echo "bench smoke OK ($BENCH_N benches)"
+
 echo "== formatting =="
 cargo fmt --check
 
