@@ -4,7 +4,7 @@
 //!
 //! * `micro` — micro-benchmarks of the hot substrate structures (cache
 //!   arrays, CPT, mesh routing, DRAM timing, full-system throughput), run
-//!   on the [`bench`]/[`bench_with_setup`] harness below;
+//!   on the [`bench()`]/[`bench_with_setup`] harness below;
 //! * `figN_*` / `tableN_*` — custom-harness targets that regenerate the
 //!   corresponding paper figure/table and print the same rows/series, each
 //!   wrapped in [`timed`] so it also emits a machine-readable JSON timing

@@ -66,9 +66,23 @@ impl CacheStats {
         self.hits.get() + self.misses.get()
     }
 
-    /// Hit rate in [0,1]; 0 for an untouched cache.
+    /// Hit rate in \[0,1\]; 0 for an untouched cache.
     pub fn hit_rate(&self) -> f64 {
         self.hits.ratio(self.accesses())
+    }
+
+    /// Register every counter plus the derived hit rate under
+    /// `<prefix>.hits`, `<prefix>.misses`, `<prefix>.fills`,
+    /// `<prefix>.dirty_evictions`, `<prefix>.hit_rate`.
+    pub fn register(&self, reg: &mut sim_stats::StatsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.hits"), self.hits.get());
+        reg.set(format!("{prefix}.misses"), self.misses.get());
+        reg.set(format!("{prefix}.fills"), self.fills.get());
+        reg.set(
+            format!("{prefix}.dirty_evictions"),
+            self.dirty_evictions.get(),
+        );
+        reg.set(format!("{prefix}.hit_rate"), self.hit_rate());
     }
 }
 

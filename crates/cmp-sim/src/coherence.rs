@@ -64,6 +64,31 @@ pub struct CoherenceStats {
     pub back_invalidations: Counter,
 }
 
+impl CoherenceStats {
+    /// Register every counter under `<prefix>.grants_exclusive`,
+    /// `<prefix>.grants_shared`, `<prefix>.upgrades_modified`,
+    /// `<prefix>.invalidations_sent`, `<prefix>.back_invalidations`.
+    pub fn register(&self, reg: &mut sim_stats::StatsRegistry, prefix: &str) {
+        reg.set(
+            format!("{prefix}.grants_exclusive"),
+            self.grants_exclusive.get(),
+        );
+        reg.set(format!("{prefix}.grants_shared"), self.grants_shared.get());
+        reg.set(
+            format!("{prefix}.upgrades_modified"),
+            self.upgrades_modified.get(),
+        );
+        reg.set(
+            format!("{prefix}.invalidations_sent"),
+            self.invalidations_sent.get(),
+        );
+        reg.set(
+            format!("{prefix}.back_invalidations"),
+            self.back_invalidations.get(),
+        );
+    }
+}
+
 /// The home directory: line → sharer set.
 ///
 /// Capacity is bounded by the total private-cache capacity (Σ L2 lines),

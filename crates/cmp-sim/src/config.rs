@@ -289,6 +289,89 @@ impl SystemConfig {
         }
     }
 
+    /// Echo every configuration knob into `reg` under `<prefix>.<field>`
+    /// dotted paths (e.g. `config.n_cores`, `config.l3_bank.size_bytes`),
+    /// in declaration order. Booleans register as 0/1;
+    /// `intra_bank_rotation_writes` registers its threshold, with 0 meaning
+    /// disabled.
+    pub fn register(&self, reg: &mut sim_stats::StatsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.n_cores"), self.n_cores as u64);
+        reg.set(format!("{prefix}.freq_hz"), self.freq_hz);
+        reg.set(format!("{prefix}.rob_entries"), self.rob_entries as u64);
+        reg.set(format!("{prefix}.fetch_width"), self.fetch_width as u64);
+        reg.set(format!("{prefix}.commit_width"), self.commit_width as u64);
+        reg.set(
+            format!("{prefix}.mshrs_per_core"),
+            self.mshrs_per_core as u64,
+        );
+        for (name, g) in [("l1", self.l1), ("l2", self.l2), ("l3_bank", self.l3_bank)] {
+            reg.set(format!("{prefix}.{name}.size_bytes"), g.size_bytes);
+            reg.set(format!("{prefix}.{name}.assoc"), g.assoc as u64);
+            reg.set(format!("{prefix}.{name}.latency"), g.latency);
+        }
+        reg.set(format!("{prefix}.n_banks"), self.n_banks as u64);
+        reg.set(format!("{prefix}.noc.cols"), self.noc.cols as u64);
+        reg.set(format!("{prefix}.noc.rows"), self.noc.rows as u64);
+        reg.set(format!("{prefix}.noc.hop_cycles"), self.noc.hop_cycles);
+        reg.set(
+            format!("{prefix}.noc.cycles_per_flit"),
+            self.noc.cycles_per_flit,
+        );
+        reg.set(
+            format!("{prefix}.noc.ctrl_flits"),
+            self.noc.ctrl_flits as u64,
+        );
+        reg.set(
+            format!("{prefix}.noc.data_flits"),
+            self.noc.data_flits as u64,
+        );
+        reg.set(format!("{prefix}.dram.channels"), self.dram.channels as u64);
+        reg.set(format!("{prefix}.dram.ranks"), self.dram.ranks as u64);
+        reg.set(
+            format!("{prefix}.dram.banks_per_rank"),
+            self.dram.banks_per_rank as u64,
+        );
+        reg.set(format!("{prefix}.dram.row_bytes"), self.dram.row_bytes);
+        reg.set(format!("{prefix}.dram.t_rcd"), self.dram.t_rcd);
+        reg.set(format!("{prefix}.dram.t_rp"), self.dram.t_rp);
+        reg.set(format!("{prefix}.dram.t_cas"), self.dram.t_cas);
+        reg.set(format!("{prefix}.dram.t_burst"), self.dram.t_burst);
+        reg.set(format!("{prefix}.tlb_entries"), self.tlb_entries as u64);
+        reg.set(format!("{prefix}.tlb_assoc"), self.tlb_assoc as u64);
+        reg.set(
+            format!("{prefix}.page_walk_latency"),
+            self.page_walk_latency,
+        );
+        reg.set(
+            format!("{prefix}.naive_dir_latency"),
+            self.naive_dir_latency,
+        );
+        reg.set(
+            format!("{prefix}.criticality_stall_threshold"),
+            self.criticality_stall_threshold,
+        );
+        reg.set(
+            format!("{prefix}.track_block_criticality"),
+            self.track_block_criticality as u64,
+        );
+        reg.set(
+            format!("{prefix}.prefetch.enabled"),
+            self.prefetch.enabled as u64,
+        );
+        reg.set(
+            format!("{prefix}.prefetch.streams"),
+            self.prefetch.streams as u64,
+        );
+        reg.set(
+            format!("{prefix}.prefetch.degree"),
+            self.prefetch.degree as u64,
+        );
+        reg.set(
+            format!("{prefix}.intra_bank_rotation_writes"),
+            self.intra_bank_rotation_writes.unwrap_or(0),
+        );
+    }
+
     /// Validate internal consistency. Called by `System::new`.
     ///
     /// # Panics

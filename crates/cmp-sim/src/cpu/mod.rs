@@ -96,6 +96,52 @@ impl CoreStats {
             correct as f64 / total as f64
         }
     }
+
+    /// Register every counter plus the derived criticality metrics under
+    /// `<prefix>.committed`, `<prefix>.dispatched`, `<prefix>.loads`, … and
+    /// `<prefix>.noncritical_load_fraction`, `<prefix>.critical_recall`,
+    /// `<prefix>.prediction_accuracy`.
+    pub fn register(&self, reg: &mut sim_stats::StatsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.committed"), self.committed.get());
+        reg.set(format!("{prefix}.dispatched"), self.dispatched.get());
+        reg.set(format!("{prefix}.loads"), self.loads.get());
+        reg.set(format!("{prefix}.stores"), self.stores.get());
+        reg.set(
+            format!("{prefix}.loads_blocked_head"),
+            self.loads_blocked_head.get(),
+        );
+        reg.set(
+            format!("{prefix}.loads_committed"),
+            self.loads_committed.get(),
+        );
+        reg.set(
+            format!("{prefix}.head_stall_cycles"),
+            self.head_stall_cycles.get(),
+        );
+        reg.set(
+            format!("{prefix}.mshr_stall_cycles"),
+            self.mshr_stall_cycles.get(),
+        );
+        reg.set(format!("{prefix}.pred_true_pos"), self.pred_true_pos.get());
+        reg.set(
+            format!("{prefix}.pred_false_pos"),
+            self.pred_false_pos.get(),
+        );
+        reg.set(format!("{prefix}.pred_true_neg"), self.pred_true_neg.get());
+        reg.set(
+            format!("{prefix}.pred_false_neg"),
+            self.pred_false_neg.get(),
+        );
+        reg.set(
+            format!("{prefix}.noncritical_load_fraction"),
+            self.noncritical_load_fraction(),
+        );
+        reg.set(format!("{prefix}.critical_recall"), self.critical_recall());
+        reg.set(
+            format!("{prefix}.prediction_accuracy"),
+            self.prediction_accuracy(),
+        );
+    }
 }
 
 /// An outstanding L1 miss (MSHR entry).
@@ -187,7 +233,7 @@ impl CoreModel {
         pred: &mut dyn CriticalityPredictor,
         mem: &mut MemoryHierarchy,
     ) -> Cycle {
-        self.commit(now, pred);
+        self.commit(now, pred, &mut mem.trace);
         let dispatch_blocked = self.dispatch(now, src, pred, mem);
 
         if self.budget_done() && self.rob.is_empty() {
@@ -218,7 +264,12 @@ impl CoreModel {
     }
 
     /// In-order commit of completed instructions, plus head-stall tracking.
-    fn commit(&mut self, now: Cycle, pred: &mut dyn CriticalityPredictor) {
+    fn commit(
+        &mut self,
+        now: Cycle,
+        pred: &mut dyn CriticalityPredictor,
+        trace: &mut sim_stats::TraceBuffer,
+    ) {
         for _ in 0..self.commit_width {
             let Some(head) = self.rob.head() else { break };
             if head.complete_at > now {
@@ -238,6 +289,11 @@ impl CoreModel {
                         let pc = head.pc;
                         self.stats.loads_blocked_head.inc();
                         pred.on_rob_block(pc);
+                        trace.record(sim_stats::TraceEvent::RobBlock {
+                            cycle: now,
+                            core: self.id as u32,
+                            pc: pc as u64,
+                        });
                     }
                 }
                 break;

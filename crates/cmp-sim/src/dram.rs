@@ -52,6 +52,20 @@ impl DramStats {
         let total = self.reads.get() + self.writes.get();
         self.row_hits.ratio(total)
     }
+
+    /// Register every counter plus the derived row-hit rate under
+    /// `<prefix>.reads`, `<prefix>.writes`, `<prefix>.row_hits`,
+    /// `<prefix>.row_empty`, `<prefix>.row_conflicts`,
+    /// `<prefix>.queue_cycles`, `<prefix>.row_hit_rate`.
+    pub fn register(&self, reg: &mut sim_stats::StatsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.reads"), self.reads.get());
+        reg.set(format!("{prefix}.writes"), self.writes.get());
+        reg.set(format!("{prefix}.row_hits"), self.row_hits.get());
+        reg.set(format!("{prefix}.row_empty"), self.row_empty.get());
+        reg.set(format!("{prefix}.row_conflicts"), self.row_conflicts.get());
+        reg.set(format!("{prefix}.queue_cycles"), self.queue_cycles.get());
+        reg.set(format!("{prefix}.row_hit_rate"), self.row_hit_rate());
+    }
 }
 
 #[derive(Clone, Debug, Default)]

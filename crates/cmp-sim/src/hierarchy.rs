@@ -26,7 +26,7 @@ use crate::noc::Mesh;
 use crate::placement::{AccessMeta, LlcAccessKind, LlcPlacement};
 use crate::table::FixedTable;
 use crate::types::{page_of_line, BankId, CoreId, Cycle, Pc};
-use sim_stats::Counter;
+use sim_stats::{Counter, TraceBuffer, TraceEvent};
 use wear_model::WearTracker;
 
 /// Timing outcome of one core-side memory access.
@@ -61,6 +61,17 @@ impl PerCoreMemStats {
         } else {
             self.l3_hits as f64 / self.l3_accesses as f64
         }
+    }
+
+    /// Register every counter under `<prefix>.l1_misses`,
+    /// `<prefix>.l3_accesses`, `<prefix>.l3_hits`, `<prefix>.l3_misses`,
+    /// `<prefix>.l2_writebacks`.
+    pub fn register(&self, reg: &mut sim_stats::StatsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.l1_misses"), self.l1_misses);
+        reg.set(format!("{prefix}.l3_accesses"), self.l3_accesses);
+        reg.set(format!("{prefix}.l3_hits"), self.l3_hits);
+        reg.set(format!("{prefix}.l3_misses"), self.l3_misses);
+        reg.set(format!("{prefix}.l2_writebacks"), self.l2_writebacks);
     }
 }
 
@@ -97,6 +108,56 @@ pub struct HierarchyStats {
     pub secondary_hits: Counter,
 }
 
+impl HierarchyStats {
+    /// Register every counter under `<prefix>.<field>` (e.g.
+    /// `hierarchy.l3_fills`), in declaration order.
+    pub fn register(&self, reg: &mut sim_stats::StatsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.l3_fills"), self.l3_fills.get());
+        reg.set(
+            format!("{prefix}.l3_fills_noncritical"),
+            self.l3_fills_noncritical.get(),
+        );
+        reg.set(format!("{prefix}.l3_writes"), self.l3_writes.get());
+        reg.set(
+            format!("{prefix}.l3_writes_noncritical"),
+            self.l3_writes_noncritical.get(),
+        );
+        reg.set(
+            format!("{prefix}.l3_writebacks_to_dram"),
+            self.l3_writebacks_to_dram.get(),
+        );
+        reg.set(
+            format!("{prefix}.back_invalidations"),
+            self.back_invalidations.get(),
+        );
+        reg.set(
+            format!("{prefix}.prefetches_issued"),
+            self.prefetches_issued.get(),
+        );
+        reg.set(
+            format!("{prefix}.prefetch_fills"),
+            self.prefetch_fills.get(),
+        );
+        reg.set(
+            format!("{prefix}.prefetch_l3_hits"),
+            self.prefetch_l3_hits.get(),
+        );
+        reg.set(format!("{prefix}.set_rotations"), self.set_rotations.get());
+        reg.set(
+            format!("{prefix}.rotation_flushes"),
+            self.rotation_flushes.get(),
+        );
+        reg.set(
+            format!("{prefix}.secondary_probes"),
+            self.secondary_probes.get(),
+        );
+        reg.set(
+            format!("{prefix}.secondary_hits"),
+            self.secondary_hits.get(),
+        );
+    }
+}
+
 /// One stride-detector entry of a per-core prefetcher.
 #[derive(Clone, Copy, Debug, Default)]
 struct StreamEntry {
@@ -123,6 +184,10 @@ pub struct MemoryHierarchy {
     per_core: Vec<PerCoreMemStats>,
     /// Global counters.
     pub stats: HierarchyStats,
+    /// Event trace. Disabled (zero-capacity, empty mask) by default so the
+    /// record calls on the hot paths reduce to one branch each; enable by
+    /// installing a configured [`TraceBuffer`] before running.
+    pub trace: TraceBuffer,
     /// Criticality recorded per resident L3 line (Figure 9 bookkeeping),
     /// enabled by `SystemConfig::track_block_criticality`. Bounded by the
     /// L3 capacity (entries are removed on eviction).
@@ -176,6 +241,7 @@ impl MemoryHierarchy {
             policy,
             per_core: vec![PerCoreMemStats::default(); cfg.n_cores],
             stats: HierarchyStats::default(),
+            trace: TraceBuffer::disabled(),
             // Criticality-tracker bound: one entry per resident L3 line,
             // plus one in-flight fill per bank (the fill is recorded
             // before its victim is evicted).
@@ -350,6 +416,11 @@ impl MemoryHierarchy {
         self.stats.set_rotations.inc();
         let flushed = self.l3[bank].rotate_set_mapping();
         self.stats.rotation_flushes.add(flushed.len() as u64);
+        self.trace.record(TraceEvent::Remap {
+            cycle: now,
+            bank: bank as u32,
+            flushed: flushed.len() as u32,
+        });
         for ev in flushed {
             self.evict_l3_victim(ev.line, ev.dirty, bank, now);
         }
@@ -553,6 +624,12 @@ impl MemoryHierarchy {
             .record_write(bank, self.l3[bank].slot_index(out.set, out.way));
         self.stats.l3_fills.inc();
         self.stats.l3_writes.inc();
+        self.trace.record(TraceEvent::Fill {
+            cycle: now,
+            core: meta.core as u32,
+            bank: bank as u32,
+            line: meta.line,
+        });
         if !meta.predicted_critical {
             self.stats.l3_fills_noncritical.inc();
             self.stats.l3_writes_noncritical.inc();
@@ -577,6 +654,11 @@ impl MemoryHierarchy {
             let d2 = self.l2[holder].invalidate(victim).unwrap_or(false);
             dirty |= d1 || d2;
             self.stats.back_invalidations.inc();
+            self.trace.record(TraceEvent::Coherence {
+                cycle: now,
+                core: holder as u32,
+                line: victim,
+            });
             // Invalidation control message to the holder tile.
             self.mesh.traverse(bank, holder, self.ctrl_flits, now);
         }
@@ -652,6 +734,12 @@ impl MemoryHierarchy {
         }
         self.mesh.traverse(core, bank, self.data_flits, now);
         self.per_core[core].l2_writebacks += 1;
+        self.trace.record(TraceEvent::Writeback {
+            cycle: now,
+            core: core as u32,
+            bank: bank as u32,
+            line,
+        });
         match self.l3[bank].probe(line) {
             LookupResult::Hit { set, way } => {
                 self.l3[bank].mark_dirty(line);
@@ -706,6 +794,22 @@ impl MemoryHierarchy {
             .iter_mut()
             .for_each(|s| *s = PerCoreMemStats::default());
         self.stats = HierarchyStats::default();
+        self.trace.clear();
+    }
+
+    /// Statistics of one core's L1D.
+    pub fn l1_stats(&self, core: CoreId) -> crate::cache::CacheStats {
+        self.l1[core].stats
+    }
+
+    /// Statistics of one core's private L2.
+    pub fn l2_stats(&self, core: CoreId) -> crate::cache::CacheStats {
+        self.l2[core].stats
+    }
+
+    /// Statistics of one L3 NUCA bank.
+    pub fn l3_stats(&self, bank: BankId) -> crate::cache::CacheStats {
+        self.l3[bank].stats
     }
 }
 

@@ -50,6 +50,27 @@ pub struct NocStats {
     pub contention_cycles: Counter,
 }
 
+impl NocStats {
+    /// Mean hops per message (0 for an idle mesh).
+    pub fn avg_hops(&self) -> f64 {
+        self.hops.per(self.messages.get(), 1)
+    }
+
+    /// Register every counter plus the derived mean hop count under
+    /// `<prefix>.messages`, `<prefix>.hops`, `<prefix>.flit_hops`,
+    /// `<prefix>.contention_cycles`, `<prefix>.avg_hops`.
+    pub fn register(&self, reg: &mut sim_stats::StatsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.messages"), self.messages.get());
+        reg.set(format!("{prefix}.hops"), self.hops.get());
+        reg.set(format!("{prefix}.flit_hops"), self.flit_hops.get());
+        reg.set(
+            format!("{prefix}.contention_cycles"),
+            self.contention_cycles.get(),
+        );
+        reg.set(format!("{prefix}.avg_hops"), self.avg_hops());
+    }
+}
+
 /// A 2-D mesh interconnect.
 #[derive(Clone, Debug)]
 pub struct Mesh {

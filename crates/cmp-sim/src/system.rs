@@ -32,6 +32,12 @@ pub struct CoreResult {
     pub mem_stats: PerCoreMemStats,
     /// Predictor issue-time counters.
     pub predictor: PredictorStats,
+    /// Data-TLB counters for this core.
+    pub tlb: crate::tlb::TlbStats,
+    /// This core's private L1D counters.
+    pub l1: crate::cache::CacheStats,
+    /// This core's private L2 counters.
+    pub l2: crate::cache::CacheStats,
 }
 
 /// Results of one measured simulation window.
@@ -53,6 +59,12 @@ pub struct SimResult {
     pub noc: crate::noc::NocStats,
     /// DRAM statistics.
     pub dram: crate::dram::DramStats,
+    /// MESI directory statistics.
+    pub coherence: crate::coherence::CoherenceStats,
+    /// Per-bank L3 cache counters (index = bank).
+    pub l3_banks: Vec<crate::cache::CacheStats>,
+    /// Echo of the configuration that produced this run.
+    pub config: SystemConfig,
 }
 
 impl SimResult {
@@ -70,6 +82,70 @@ impl SimResult {
     /// Average WPKI across cores.
     pub fn avg_wpki(&self) -> f64 {
         sim_stats::amean(&self.per_core.iter().map(|c| c.wpki).collect::<Vec<_>>())
+    }
+
+    /// Full hierarchical statistics snapshot under stable dotted paths,
+    /// using the paper's endurance budget
+    /// ([`wear_model::EnduranceSpec::PAPER`]) for the wear section.
+    ///
+    /// Section order (documented in EXPERIMENTS.md "Observability"):
+    /// `system.*`, `config.*`, `cpu[i].*` (core counters, then derived
+    /// rates, then `cpu[i].mem.*`, `cpu[i].tlb.*`, `cpu[i].l1.*`,
+    /// `cpu[i].l2.*`, `cpu[i].pred.*`), `llc.bank[b].*`, `hierarchy.*`,
+    /// `noc.*`, `dram.*`, `coherence.*`, `wear.*`. Two runs that execute
+    /// identically produce byte-identical `to_json()` dumps.
+    pub fn registry(&self) -> sim_stats::StatsRegistry {
+        self.registry_with_endurance(&wear_model::EnduranceSpec::PAPER)
+    }
+
+    /// [`SimResult::registry`] with an explicit endurance budget for the
+    /// `wear.bank[i].min_endurance_frac` entries.
+    pub fn registry_with_endurance(
+        &self,
+        endurance: &wear_model::EnduranceSpec,
+    ) -> sim_stats::StatsRegistry {
+        let mut reg = sim_stats::StatsRegistry::new();
+        reg.set("system.scheme", self.scheme);
+        reg.set("system.cycles", self.cycles);
+        reg.set("system.total_ipc", self.total_ipc());
+        reg.set("system.avg_mpki", self.avg_mpki());
+        reg.set("system.avg_wpki", self.avg_wpki());
+        self.config.register(&mut reg, "config");
+        for (i, c) in self.per_core.iter().enumerate() {
+            let p = format!("cpu[{i}]");
+            reg.set(format!("{p}.label"), c.label.as_str());
+            c.core_stats.register(&mut reg, &p);
+            reg.set(format!("{p}.cycles"), c.cycles);
+            reg.set(format!("{p}.ipc"), c.ipc);
+            reg.set(format!("{p}.mpki"), c.mpki);
+            reg.set(format!("{p}.wpki"), c.wpki);
+            reg.set(format!("{p}.l3_hit_rate"), c.l3_hit_rate);
+            c.mem_stats.register(&mut reg, &format!("{p}.mem"));
+            c.tlb.register(&mut reg, &format!("{p}.tlb"));
+            c.l1.register(&mut reg, &format!("{p}.l1"));
+            c.l2.register(&mut reg, &format!("{p}.l2"));
+            reg.set(
+                format!("{p}.pred.predicted_critical"),
+                c.predictor.predicted_critical,
+            );
+            reg.set(
+                format!("{p}.pred.predicted_noncritical"),
+                c.predictor.predicted_noncritical,
+            );
+        }
+        for (b, writes) in self.bank_writes.iter().enumerate() {
+            let p = format!("llc.bank[{b}]");
+            reg.set(format!("{p}.writes"), *writes);
+            if let Some(cs) = self.l3_banks.get(b) {
+                cs.register(&mut reg, &p);
+            }
+        }
+        self.hierarchy.register(&mut reg, "hierarchy");
+        self.noc.register(&mut reg, "noc");
+        self.dram.register(&mut reg, "dram");
+        self.coherence.register(&mut reg, "coherence");
+        self.wear.register(&mut reg, "wear", endurance);
+        reg
     }
 }
 
@@ -194,7 +270,7 @@ impl System {
 
     /// Functionally install each source's `warm_ranges` into the hierarchy
     /// (checkpoint-style cache warming; see
-    /// [`InstrSource::warm_ranges`](crate::instr::InstrSource::warm_ranges)).
+    /// [`InstrSource::warm_ranges`]).
     /// Call before `warmup`/`run` — statistics accumulated here are wiped
     /// by the warm-up reset.
     pub fn prewarm(&mut self) {
@@ -247,6 +323,9 @@ impl System {
                     core_stats: cs,
                     mem_stats: ms,
                     predictor: self.predictors[i].stats(),
+                    tlb: core.tlb_stats(),
+                    l1: self.mem.l1_stats(i),
+                    l2: self.mem.l2_stats(i),
                 }
             })
             .collect();
@@ -259,6 +338,11 @@ impl System {
             hierarchy: self.mem.stats,
             noc: self.mem.mesh.stats,
             dram: self.mem.dram.stats,
+            coherence: self.mem.dir.stats,
+            l3_banks: (0..self.cfg.n_banks)
+                .map(|b| self.mem.l3_stats(b))
+                .collect(),
+            config: self.cfg,
         }
     }
 

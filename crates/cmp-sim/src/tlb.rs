@@ -26,9 +26,19 @@ pub struct TlbStats {
 }
 
 impl TlbStats {
-    /// Hit rate in [0,1].
+    /// Hit rate in \[0,1\].
     pub fn hit_rate(&self) -> f64 {
         self.hits.ratio(self.hits.get() + self.misses.get())
+    }
+
+    /// Register every counter plus the derived hit rate under
+    /// `<prefix>.hits`, `<prefix>.misses`, `<prefix>.evictions`,
+    /// `<prefix>.hit_rate`.
+    pub fn register(&self, reg: &mut sim_stats::StatsRegistry, prefix: &str) {
+        reg.set(format!("{prefix}.hits"), self.hits.get());
+        reg.set(format!("{prefix}.misses"), self.misses.get());
+        reg.set(format!("{prefix}.evictions"), self.evictions.get());
+        reg.set(format!("{prefix}.hit_rate"), self.hit_rate());
     }
 }
 

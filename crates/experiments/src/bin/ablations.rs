@@ -1,7 +1,13 @@
 //! Run the six ablation studies (DESIGN.md §7).
 use experiments::figures::ablations;
-use experiments::Budget;
+use experiments::{Budget, StatsSink};
 
 fn main() {
-    println!("{}", ablations::run_all(Budget::from_env().sweep()));
+    let sink = StatsSink::from_env_args();
+    let budget = Budget::from_env().sweep();
+    let text = ablations::run_all(budget);
+    println!("{text}");
+    sink.emit_with("ablations", "DESIGN.md §7 ablations", None, budget, |m| {
+        m.stats_mut().set("output.bytes", text.len() as u64);
+    });
 }

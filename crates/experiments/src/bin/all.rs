@@ -4,11 +4,12 @@
 //! one Table III row).
 use cmp_sim::SystemConfig;
 use experiments::figures::{criticality, lifetime, predictor_study, sensitivity, table2, table3};
-use experiments::Budget;
+use experiments::{obs, Budget, StatsSink};
 use renuca_core::CptConfig;
 use std::time::Instant;
 
 fn main() {
+    let sink = StatsSink::from_env_args();
     let budget = Budget::from_env();
     let t0 = Instant::now();
 
@@ -63,5 +64,12 @@ fn main() {
     } else {
         eprintln!("raw study data written to results.json");
     }
+
+    sink.emit_with("all", "full paper run", None, budget, |m| {
+        obs::register_table2(m.stats_mut(), &rows);
+        obs::register_fig5(m.stats_mut(), &f5, criticality::average(&f5));
+        obs::register_predictor(m.stats_mut(), &ps);
+        obs::register_multi_study(m, &t3.studies);
+    });
     eprintln!("total wall time: {:?}", t0.elapsed());
 }

@@ -2,11 +2,12 @@
 //! diagnostic): runs a few single-app characterizations and one 16-core
 //! workload, printing measured vs Table II values and wall-clock speed.
 
-use experiments::{run_single_app, run_workload, Budget};
+use experiments::{run_single_app, run_workload, Budget, StatsSink};
 use renuca_core::{CptConfig, Scheme};
 use std::time::Instant;
 
 fn main() {
+    let sink = StatsSink::from_env_args();
     let budget = Budget::from_env();
     println!(
         "budget: warmup={} measure={}",
@@ -87,4 +88,20 @@ fn main() {
         t.elapsed()
     );
     println!("bank writes: {:?}", r3.bank_writes);
+
+    // The manifest carries the full component-level registry snapshot of the
+    // S-NUCA run — every counter in the hierarchy under its dotted path —
+    // plus the raw per-bank write totals of all three runs as heatmap rows.
+    sink.emit_with("calibrate", "WL1 16-core probe", Some(&cfg), budget, |m| {
+        m.set_stats(r.registry());
+        m.stats_mut()
+            .set("compare.Re-NUCA.total_ipc", r2.total_ipc());
+        m.stats_mut()
+            .set("compare.R-NUCA.total_ipc", r3.total_ipc());
+        m.set_wear_unit("writes");
+        for (scheme, res) in [("S-NUCA", &r), ("Re-NUCA", &r2), ("R-NUCA", &r3)] {
+            let per_bank: Vec<f64> = res.bank_writes.iter().map(|&w| w as f64).collect();
+            m.push_wear_row(scheme, &per_bank);
+        }
+    });
 }

@@ -1,13 +1,15 @@
 //! Capacity-retention curves per scheme (extension of the paper's §III.B).
 use cmp_sim::SystemConfig;
 use experiments::figures::{capacity, lifetime};
-use experiments::Budget;
+use experiments::{obs, Budget, StatsSink};
 
 fn main() {
-    let study = lifetime::run(
-        "Actual Results",
-        SystemConfig::default(),
-        Budget::from_env(),
-    );
+    let sink = StatsSink::from_env_args();
+    let cfg = SystemConfig::default();
+    let budget = Budget::from_env();
+    let study = lifetime::run("Actual Results", cfg, budget);
     println!("{}", capacity::format_retention(&study, 16.0, 9));
+    sink.emit_with("capacity", study.label, Some(&cfg), budget, |m| {
+        obs::register_study(m, &study)
+    });
 }

@@ -1,14 +1,16 @@
 //! Regenerate Figure 11 (IPC improvements over S-NUCA).
 use cmp_sim::SystemConfig;
 use experiments::figures::lifetime;
-use experiments::Budget;
+use experiments::{obs, Budget, StatsSink};
 
 fn main() {
-    let study = lifetime::run(
-        "Actual Results",
-        SystemConfig::default(),
-        Budget::from_env(),
-    );
+    let sink = StatsSink::from_env_args();
+    let cfg = SystemConfig::default();
+    let budget = Budget::from_env();
+    let study = lifetime::run("Actual Results", cfg, budget);
     println!("{}", lifetime::format_fig11(&study));
     println!("{}", lifetime::headline(&study));
+    sink.emit_with("fig11", study.label, Some(&cfg), budget, |m| {
+        obs::register_study(m, &study)
+    });
 }

@@ -1,8 +1,14 @@
 //! Regenerate Figure 15 (sensitivity study: L3 bank = 1 MB, wear).
 use experiments::figures::sensitivity::{self, Sensitivity};
-use experiments::Budget;
+use experiments::{obs, Budget, StatsSink};
 
 fn main() {
-    let study = sensitivity::run(Sensitivity::L3Small, Budget::from_env());
-    println!("{}", sensitivity::format_wear(Sensitivity::L3Small, &study));
+    let sink = StatsSink::from_env_args();
+    let which = Sensitivity::L3Small;
+    let budget = Budget::from_env();
+    let study = sensitivity::run(which, budget);
+    println!("{}", sensitivity::format_wear(which, &study));
+    sink.emit_with("fig15", which.label(), Some(&which.config()), budget, |m| {
+        obs::register_study(m, &study)
+    });
 }

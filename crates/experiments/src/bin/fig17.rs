@@ -1,11 +1,14 @@
 //! Regenerate Figure 17 (sensitivity study: ROB = 168, wear).
 use experiments::figures::sensitivity::{self, Sensitivity};
-use experiments::Budget;
+use experiments::{obs, Budget, StatsSink};
 
 fn main() {
-    let study = sensitivity::run(Sensitivity::RobLarge, Budget::from_env());
-    println!(
-        "{}",
-        sensitivity::format_wear(Sensitivity::RobLarge, &study)
-    );
+    let sink = StatsSink::from_env_args();
+    let which = Sensitivity::RobLarge;
+    let budget = Budget::from_env();
+    let study = sensitivity::run(which, budget);
+    println!("{}", sensitivity::format_wear(which, &study));
+    sink.emit_with("fig17", which.label(), Some(&which.config()), budget, |m| {
+        obs::register_study(m, &study)
+    });
 }

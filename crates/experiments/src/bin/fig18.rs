@@ -1,8 +1,14 @@
 //! Regenerate Figure 18 (sensitivity study: ROB = 168, IPC).
 use experiments::figures::sensitivity::{self, Sensitivity};
-use experiments::Budget;
+use experiments::{obs, Budget, StatsSink};
 
 fn main() {
-    let study = sensitivity::run(Sensitivity::RobLarge, Budget::from_env());
-    println!("{}", sensitivity::format_ipc(Sensitivity::RobLarge, &study));
+    let sink = StatsSink::from_env_args();
+    let which = Sensitivity::RobLarge;
+    let budget = Budget::from_env();
+    let study = sensitivity::run(which, budget);
+    println!("{}", sensitivity::format_ipc(which, &study));
+    sink.emit_with("fig18", which.label(), Some(&which.config()), budget, |m| {
+        obs::register_study(m, &study)
+    });
 }

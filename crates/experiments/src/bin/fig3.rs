@@ -1,13 +1,15 @@
 //! Regenerate Figure 3 (motivation: baseline per-bank lifetimes).
 use cmp_sim::SystemConfig;
 use experiments::figures::lifetime;
-use experiments::Budget;
+use experiments::{obs, Budget, StatsSink};
 
 fn main() {
-    let study = lifetime::run(
-        "Actual Results",
-        SystemConfig::default(),
-        Budget::from_env(),
-    );
+    let sink = StatsSink::from_env_args();
+    let cfg = SystemConfig::default();
+    let budget = Budget::from_env();
+    let study = lifetime::run("Actual Results", cfg, budget);
     println!("{}", lifetime::format_fig3(&study));
+    sink.emit_with("fig3", study.label, Some(&cfg), budget, |m| {
+        obs::register_study(m, &study)
+    });
 }

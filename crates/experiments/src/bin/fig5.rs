@@ -1,9 +1,14 @@
 //! Regenerate Figure 5 (non-critical load percentage per application).
 use experiments::figures::criticality;
-use experiments::Budget;
+use experiments::{obs, Budget, StatsSink};
 
 fn main() {
-    let rows = criticality::run(Budget::from_env());
+    let sink = StatsSink::from_env_args();
+    let budget = Budget::from_env();
+    let rows = criticality::run(budget);
     println!("{}", criticality::format_fig5(&rows));
     println!("Average: {:.1}% (paper: >80%)", criticality::average(&rows));
+    sink.emit_with("fig5", "ROB-stall criticality", None, budget, |m| {
+        obs::register_fig5(m.stats_mut(), &rows, criticality::average(&rows))
+    });
 }

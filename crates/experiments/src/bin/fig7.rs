@@ -1,9 +1,14 @@
 //! Regenerate Figure 7 (criticality-predictor characterization).
 use experiments::figures::predictor_study;
-use experiments::Budget;
+use experiments::{obs, Budget, StatsSink};
 use renuca_core::CptConfig;
 
 fn main() {
-    let study = predictor_study::run(Budget::from_env(), &CptConfig::THRESHOLD_SWEEP);
+    let sink = StatsSink::from_env_args();
+    let budget = Budget::from_env();
+    let study = predictor_study::run(budget, &CptConfig::THRESHOLD_SWEEP);
     println!("{}", predictor_study::format_fig7(&study));
+    sink.emit_with("fig7", "predictor threshold sweep", None, budget, |m| {
+        obs::register_predictor(m.stats_mut(), &study)
+    });
 }

@@ -1,8 +1,13 @@
 //! Regenerate the paper's Table II (application characteristics).
 use experiments::figures::table2;
-use experiments::Budget;
+use experiments::{obs, Budget, StatsSink};
 
 fn main() {
-    let rows = table2::run(Budget::from_env());
+    let sink = StatsSink::from_env_args();
+    let budget = Budget::from_env();
+    let rows = table2::run(budget);
     println!("{}", table2::format_table2(&rows));
+    sink.emit_with("table2", "app characteristics", None, budget, |m| {
+        obs::register_table2(m.stats_mut(), &rows)
+    });
 }

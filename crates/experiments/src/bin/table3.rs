@@ -1,8 +1,13 @@
 //! Regenerate Table III (raw minimum lifetimes, 4 configs x 5 schemes).
 use experiments::figures::table3;
-use experiments::Budget;
+use experiments::{obs, Budget, StatsSink};
 
 fn main() {
-    let t3 = table3::run(Budget::from_env());
+    let sink = StatsSink::from_env_args();
+    let budget = Budget::from_env();
+    let t3 = table3::run(budget);
     println!("{}", table3::format_table3(&t3));
+    sink.emit_with("table3", "raw minimum lifetimes", None, budget, |m| {
+        obs::register_multi_study(m, &t3.studies)
+    });
 }

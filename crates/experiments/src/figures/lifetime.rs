@@ -140,7 +140,7 @@ pub fn format_ipc_improvements(title: &str, study: &MainStudy) -> String {
     format!("{title}\n{}", t.render())
 }
 
-/// Render one Table III row ("raw minimum lifetime [years]").
+/// Render one Table III row ("raw minimum lifetime \[years\]").
 pub fn format_table3_row(study: &MainStudy) -> String {
     let mut t = Table::new(&["Config", "Naive", "S-NUCA", "Re-NUCA", "R-NUCA", "Private"]);
     let row = study.table3_row();

@@ -24,15 +24,23 @@
 //! `RENUCA_MEASURE` and `RENUCA_WARMUP` (instructions per core); the
 //! defaults keep a full figure regeneration tractable on one CPU while the
 //! statistical workload models stay in their converged steady state.
+//!
+//! Every binary additionally accepts `--stats <path>` (or the
+//! `RENUCA_STATS` environment variable) and then writes a JSON *run
+//! manifest* — config echo, stats-registry snapshot, per-bank wear
+//! heatmap — through the shared [`obs`] helper; the schema is documented
+//! in `EXPERIMENTS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod budget;
 pub mod figures;
+pub mod obs;
 pub mod pool;
 pub mod runner;
 
 pub use budget::Budget;
+pub use obs::{Manifest, StatsSink};
 pub use pool::{parallel_map, parallel_map_threads};
 pub use runner::{run_single_app, run_workload, SchemeStudy};

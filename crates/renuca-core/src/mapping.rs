@@ -182,7 +182,7 @@ pub struct PrivateMap {
 }
 
 impl PrivateMap {
-    /// Private banks for `n_cores` cores (any positive count — [`owner`]
+    /// Private banks for `n_cores` cores (any positive count — `owner`
     /// clamps correctly for non-pow2 machines too).
     pub fn new(n_cores: usize) -> Self {
         assert!(n_cores > 0, "need at least one core");

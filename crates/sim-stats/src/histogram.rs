@@ -98,7 +98,7 @@ impl Histogram {
         (self.count > 0).then_some(self.max)
     }
 
-    /// Approximate p-th percentile (p in [0,100]) using the bucket upper
+    /// Approximate p-th percentile (p in \[0,100\]) using the bucket upper
     /// bound. Good enough for reporting latency tails; exactness is not
     /// needed because buckets are log-spaced.
     pub fn percentile(&self, p: f64) -> Option<u64> {

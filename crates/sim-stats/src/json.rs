@@ -127,6 +127,11 @@ pub fn u64_array(xs: &[u64]) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// Join already-serialized JSON fragments into a JSON array.
+pub fn raw_array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
 impl StatValue {
     /// The value as a JSON fragment.
     pub fn to_json(&self) -> String {

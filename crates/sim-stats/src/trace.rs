@@ -1,0 +1,466 @@
+//! Lightweight event tracing: a fixed-capacity ring buffer of typed events.
+//!
+//! Components that want to expose *why* a counter moved (which line was
+//! filled into which bank, when a rotation remapped a set, which load
+//! blocked the ROB head) record [`TraceEvent`]s into a [`TraceBuffer`].
+//! The buffer is sized once at construction and never reallocates; when it
+//! is full, the oldest events are overwritten and counted as dropped, so
+//! overflow is observable instead of silent.
+//!
+//! Recording is gated by a per-category bitmask ([`TraceCategory::bit`]).
+//! With the mask at zero (the default, see [`TraceBuffer::disabled`]) the
+//! entire record path is a single branch on an integer — no allocation, no
+//! formatting — which keeps the tracing hooks cheap enough to leave compiled
+//! into the simulator hot paths (see the overhead budget in DESIGN.md).
+
+use crate::json::{self, JsonObject};
+
+/// Event categories; each occupies one bit in a [`TraceBuffer`]'s enable
+/// mask, so categories can be toggled independently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceCategory {
+    /// A demand or prefetch fill into the LLC.
+    Fill = 0,
+    /// A dirty writeback from a private cache into the LLC.
+    Writeback = 1,
+    /// A wear-leveling remap (intra-bank set rotation advance).
+    Remap = 2,
+    /// A load blocking at the head of the ROB (criticality signal).
+    RobBlock = 3,
+    /// A coherence transition (inclusive-L3 back-invalidation).
+    Coherence = 4,
+}
+
+impl TraceCategory {
+    /// All categories, in bit order.
+    pub const ALL: [TraceCategory; 5] = [
+        TraceCategory::Fill,
+        TraceCategory::Writeback,
+        TraceCategory::Remap,
+        TraceCategory::RobBlock,
+        TraceCategory::Coherence,
+    ];
+
+    /// The mask bit for this category.
+    #[inline]
+    pub fn bit(self) -> u32 {
+        1u32 << (self as u32)
+    }
+
+    /// Stable lowercase name used in JSON output and documentation.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceCategory::Fill => "fill",
+            TraceCategory::Writeback => "writeback",
+            TraceCategory::Remap => "remap",
+            TraceCategory::RobBlock => "rob_block",
+            TraceCategory::Coherence => "coherence",
+        }
+    }
+}
+
+/// Mask enabling every category.
+pub const TRACE_ALL: u32 = (1 << TraceCategory::ALL.len()) - 1;
+
+/// A single typed trace event. Compact and `Copy`: events are stored inline
+/// in the ring buffer, never boxed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A line was filled into an LLC bank.
+    Fill {
+        /// Simulation cycle of the fill.
+        cycle: u64,
+        /// Requesting core.
+        core: u32,
+        /// Destination LLC bank.
+        bank: u32,
+        /// Line address (block-aligned, in line units).
+        line: u64,
+    },
+    /// A dirty line was written back into an LLC bank.
+    Writeback {
+        /// Simulation cycle of the writeback.
+        cycle: u64,
+        /// Core whose private cache evicted the line.
+        core: u32,
+        /// Destination LLC bank.
+        bank: u32,
+        /// Line address.
+        line: u64,
+    },
+    /// An intra-bank set rotation advanced (wear-leveling remap).
+    Remap {
+        /// Simulation cycle of the rotation.
+        cycle: u64,
+        /// Bank whose mapping rotated.
+        bank: u32,
+        /// Lines flushed to honour the new mapping.
+        flushed: u32,
+    },
+    /// A load blocked at the head of the ROB.
+    RobBlock {
+        /// Simulation cycle the block was detected.
+        cycle: u64,
+        /// Core whose ROB head blocked.
+        core: u32,
+        /// Program counter of the blocking load.
+        pc: u64,
+    },
+    /// A coherence transition: an inclusive-L3 eviction back-invalidated a
+    /// private copy.
+    Coherence {
+        /// Simulation cycle of the invalidation.
+        cycle: u64,
+        /// Core whose private copy was invalidated.
+        core: u32,
+        /// Line address.
+        line: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The category this event belongs to.
+    #[inline]
+    pub fn category(self) -> TraceCategory {
+        match self {
+            TraceEvent::Fill { .. } => TraceCategory::Fill,
+            TraceEvent::Writeback { .. } => TraceCategory::Writeback,
+            TraceEvent::Remap { .. } => TraceCategory::Remap,
+            TraceEvent::RobBlock { .. } => TraceCategory::RobBlock,
+            TraceEvent::Coherence { .. } => TraceCategory::Coherence,
+        }
+    }
+
+    /// Simulation cycle the event occurred at.
+    #[inline]
+    pub fn cycle(self) -> u64 {
+        match self {
+            TraceEvent::Fill { cycle, .. }
+            | TraceEvent::Writeback { cycle, .. }
+            | TraceEvent::Remap { cycle, .. }
+            | TraceEvent::RobBlock { cycle, .. }
+            | TraceEvent::Coherence { cycle, .. } => cycle,
+        }
+    }
+
+    /// One-line JSON object for this event (stable key order:
+    /// `kind`, `cycle`, then the kind-specific fields).
+    pub fn to_json(self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("kind", self.category().name());
+        o.field_u64("cycle", self.cycle());
+        match self {
+            TraceEvent::Fill {
+                core, bank, line, ..
+            }
+            | TraceEvent::Writeback {
+                core, bank, line, ..
+            } => {
+                o.field_u64("core", core as u64);
+                o.field_u64("bank", bank as u64);
+                o.field_u64("line", line);
+            }
+            TraceEvent::Remap { bank, flushed, .. } => {
+                o.field_u64("bank", bank as u64);
+                o.field_u64("flushed", flushed as u64);
+            }
+            TraceEvent::RobBlock { core, pc, .. } => {
+                o.field_u64("core", core as u64);
+                o.field_u64("pc", pc);
+            }
+            TraceEvent::Coherence { core, line, .. } => {
+                o.field_u64("core", core as u64);
+                o.field_u64("line", line);
+            }
+        }
+        o.finish()
+    }
+}
+
+/// A fixed-capacity ring buffer of [`TraceEvent`]s with per-category enable
+/// masks and overflow accounting.
+///
+/// * `recorded` counts every event accepted (enabled category, capacity > 0),
+///   including those later overwritten.
+/// * `dropped` counts accepted events that were overwritten by wraparound;
+///   `recorded - dropped == len()` always holds.
+/// * Events whose category is disabled are rejected before any work happens
+///   and are not counted at all.
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuffer {
+    mask: u32,
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the next slot to write (== logical end of the ring).
+    next: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer with every category disabled and zero capacity. Recording
+    /// into it is a single branch; this is the default state wired into the
+    /// simulator.
+    pub fn disabled() -> Self {
+        TraceBuffer::default()
+    }
+
+    /// A buffer holding up to `capacity` events, all categories enabled.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            mask: TRACE_ALL,
+            buf: Vec::with_capacity(capacity),
+            cap: capacity,
+            next: 0,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A buffer holding up to `capacity` events with only the given
+    /// categories enabled.
+    pub fn with_categories(capacity: usize, categories: &[TraceCategory]) -> Self {
+        let mut t = TraceBuffer::new(capacity);
+        t.mask = categories.iter().fold(0, |m, c| m | c.bit());
+        t
+    }
+
+    /// The current enable mask (bit per [`TraceCategory`]).
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+
+    /// Replace the enable mask wholesale.
+    pub fn set_mask(&mut self, mask: u32) {
+        self.mask = mask & TRACE_ALL;
+    }
+
+    /// Enable one category.
+    pub fn enable(&mut self, cat: TraceCategory) {
+        self.mask |= cat.bit();
+    }
+
+    /// Disable one category.
+    pub fn disable(&mut self, cat: TraceCategory) {
+        self.mask &= !cat.bit();
+    }
+
+    /// Whether a category is currently recorded.
+    #[inline]
+    pub fn is_enabled(&self, cat: TraceCategory) -> bool {
+        self.mask & cat.bit() != 0
+    }
+
+    /// Whether any category is enabled. Hot paths may use this to skip
+    /// computing event fields entirely.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.mask != 0 && self.cap != 0
+    }
+
+    /// Record an event. Returns `true` if the event was accepted. The
+    /// disabled path (mask bit clear or zero capacity) is a branch and an
+    /// early return — no allocation, no copy.
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) -> bool {
+        if self.mask & ev.category().bit() == 0 || self.cap == 0 {
+            return false;
+        }
+        self.push(ev);
+        true
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        self.recorded += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+            self.next = self.buf.len() % self.cap;
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of events held before wraparound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total events accepted since creation (survivors + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Accepted events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate over the held events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, head) = if self.buf.len() < self.cap {
+            (&self.buf[..], &[][..])
+        } else {
+            let (h, t) = self.buf.split_at(self.next);
+            (t, h)
+        };
+        tail.iter().chain(head.iter())
+    }
+
+    /// Drop all held events and reset the overflow accounting; the enable
+    /// mask and capacity are kept (warm-up boundary).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+        self.recorded = 0;
+        self.dropped = 0;
+    }
+
+    /// JSON object: `{"capacity":…,"recorded":…,"dropped":…,"events":[…]}`
+    /// with events oldest-first.
+    pub fn to_json(&self) -> String {
+        let events: Vec<String> = self.iter().map(|e| e.to_json()).collect();
+        let mut o = JsonObject::new();
+        o.field_u64("capacity", self.cap as u64);
+        o.field_u64("recorded", self.recorded);
+        o.field_u64("dropped", self.dropped);
+        o.field_raw("events", &json::raw_array(&events));
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(cycle: u64) -> TraceEvent {
+        TraceEvent::Fill {
+            cycle,
+            core: 1,
+            bank: 2,
+            line: 100 + cycle,
+        }
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut t = TraceBuffer::disabled();
+        assert!(!t.is_active());
+        assert!(!t.record(fill(1)));
+        assert_eq!(t.recorded(), 0);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn category_mask_filters() {
+        let mut t = TraceBuffer::with_categories(8, &[TraceCategory::Remap]);
+        assert!(!t.record(fill(1)));
+        assert!(t.record(TraceEvent::Remap {
+            cycle: 5,
+            bank: 3,
+            flushed: 12
+        }));
+        assert_eq!(t.recorded(), 1);
+        assert!(t.is_enabled(TraceCategory::Remap));
+        assert!(!t.is_enabled(TraceCategory::Fill));
+        t.enable(TraceCategory::Fill);
+        assert!(t.record(fill(2)));
+        t.disable(TraceCategory::Fill);
+        assert!(!t.record(fill(3)));
+        assert_eq!(t.recorded(), 2);
+    }
+
+    #[test]
+    fn wraparound_overwrites_oldest_and_counts_drops() {
+        let mut t = TraceBuffer::new(3);
+        for c in 0..5 {
+            assert!(t.record(fill(c)));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.recorded() - t.dropped(), t.len() as u64);
+        // Survivors are the newest three, oldest first.
+        let cycles: Vec<u64> = t.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn iter_is_oldest_first_before_wrap() {
+        let mut t = TraceBuffer::new(4);
+        for c in 0..3 {
+            t.record(fill(c));
+        }
+        let cycles: Vec<u64> = t.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![0, 1, 2]);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn wrap_exactly_at_capacity_boundary() {
+        let mut t = TraceBuffer::new(2);
+        t.record(fill(0));
+        t.record(fill(1));
+        assert_eq!(t.dropped(), 0);
+        t.record(fill(2)); // overwrites cycle 0
+        let cycles: Vec<u64> = t.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![1, 2]);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_resets_accounting_but_keeps_mask() {
+        let mut t = TraceBuffer::with_categories(2, &[TraceCategory::Fill]);
+        t.record(fill(0));
+        t.record(fill(1));
+        t.record(fill(2));
+        t.clear();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.recorded(), 0);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.capacity(), 2);
+        assert!(t.is_enabled(TraceCategory::Fill));
+        assert!(!t.is_enabled(TraceCategory::Remap));
+        t.record(fill(7));
+        let cycles: Vec<u64> = t.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![7]);
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let e = TraceEvent::Remap {
+            cycle: 9,
+            bank: 4,
+            flushed: 2,
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"kind":"remap","cycle":9,"bank":4,"flushed":2}"#
+        );
+        let mut t = TraceBuffer::new(2);
+        t.record(e);
+        let j = t.to_json();
+        assert!(j.starts_with(r#"{"capacity":2,"recorded":1,"dropped":0,"events":["#));
+    }
+
+    #[test]
+    fn every_category_round_trips_kind_name() {
+        for (i, c) in TraceCategory::ALL.iter().enumerate() {
+            assert_eq!(c.bit(), 1 << i);
+            assert!(!c.name().is_empty());
+        }
+        assert_eq!(TRACE_ALL, 0b11111);
+    }
+}

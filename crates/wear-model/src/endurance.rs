@@ -19,7 +19,7 @@ impl EnduranceSpec {
     };
 
     /// Conservative prototype endurance: 10⁹ writes per line
-    /// (Wei et al., IEDM 2008 — the paper's reference [17]).
+    /// (Wei et al., IEDM 2008 — the paper's reference \[17\]).
     pub const CONSERVATIVE: EnduranceSpec = EnduranceSpec {
         writes_per_cell: 1e9,
     };

@@ -87,7 +87,7 @@ impl EnergyBreakdown {
         self.read_mj + self.write_mj + self.standby_mj
     }
 
-    /// Standby share of the total, in [0,1].
+    /// Standby share of the total, in \[0,1\].
     pub fn standby_fraction(&self) -> f64 {
         let t = self.total_mj();
         if t == 0.0 {

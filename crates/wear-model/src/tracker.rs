@@ -127,6 +127,28 @@ impl WearTracker {
             *a += b;
         }
     }
+
+    /// Register the wear picture under dotted paths: `<prefix>.total_writes`,
+    /// then per bank `<prefix>.bank[i].writes`,
+    /// `<prefix>.bank[i].max_slot_writes` and
+    /// `<prefix>.bank[i].min_endurance_frac` — the remaining endurance
+    /// fraction of the bank's most-written slot under `endurance`
+    /// (1.0 = pristine, 0.0 = the hottest slot is worn out), clamped to 0.
+    pub fn register(
+        &self,
+        reg: &mut sim_stats::StatsRegistry,
+        prefix: &str,
+        endurance: &crate::endurance::EnduranceSpec,
+    ) {
+        reg.set(format!("{prefix}.total_writes"), self.total_writes());
+        for b in 0..self.nbanks {
+            let max_slot = self.max_slot_writes(b);
+            reg.set(format!("{prefix}.bank[{b}].writes"), self.bank_writes(b));
+            reg.set(format!("{prefix}.bank[{b}].max_slot_writes"), max_slot);
+            let frac = (1.0 - max_slot as f64 / endurance.writes_per_cell).max(0.0);
+            reg.set(format!("{prefix}.bank[{b}].min_endurance_frac"), frac);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! The synthetic application generator.
 //!
-//! An [`AppModel`] turns an [`AppSpec`](crate::spec::AppSpec) into an
+//! An [`AppModel`] turns an [`AppSpec`] into an
 //! infinite, deterministic instruction stream (it implements
 //! [`cmp_sim::instr::InstrSource`]).
 //!

@@ -16,6 +16,24 @@ cargo test -q --workspace
 echo "== examples =="
 cargo build --examples
 
+echo "== rustdoc (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "== manifest smoke: --stats emits a schema-conformant run manifest =="
+MANIFEST="$(mktemp)"
+trap 'rm -f "$MANIFEST"' EXIT
+RENUCA_WARMUP=500 RENUCA_MEASURE=2000 \
+    ./target/release/fig3 --stats "$MANIFEST" >/dev/null 2>&1
+# Top-level keys must appear in the documented order (EXPERIMENTS.md,
+# "Observability: run manifests").
+if ! grep -qE '^\{"schema":"renuca-manifest-v1","binary":"fig3","label":"[^"]+","version":"[^"]+","budget":\{"warmup":500,"measure":2000\},"config":\{.*\},"stats":\{.*\},"wear_heatmap":\{"unit":"years","rows":\[.*\]\}\}$' \
+    "$MANIFEST"; then
+    echo "manifest smoke FAILED: $MANIFEST does not match renuca-manifest-v1"
+    head -c 400 "$MANIFEST"; echo
+    exit 1
+fi
+echo "manifest smoke OK ($(wc -c < "$MANIFEST") bytes)"
+
 echo "== bench targets compile =="
 cargo build --benches --release --workspace
 
