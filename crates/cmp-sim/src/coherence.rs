@@ -178,16 +178,22 @@ impl Directory {
     }
 
     /// A core fetches (or upgrades) a line for writing. All other sharers
-    /// are invalidated; returns how many invalidations were sent.
-    pub fn write(&mut self, line: u64, core: CoreId) -> u32 {
+    /// are invalidated; returns them (ascending core id) so the caller can
+    /// drop their private copies — a sharer left resident after its
+    /// directory bit is cleared would be invisible to a later inclusive-L3
+    /// back-invalidation, and its eventual dirty eviction would write back
+    /// a line the L3 no longer holds.
+    pub fn write(&mut self, line: u64, core: CoreId) -> Vec<CoreId> {
         let bit = 1u32 << core;
         let e = self.entries.get_or_insert_with(line, DirEntry::default);
-        let others = (e.sharers & !bit).count_ones();
+        let victims = e.sharers & !bit;
         e.sharers = bit;
         e.exclusive = true;
         self.stats.upgrades_modified.inc();
-        self.stats.invalidations_sent.add(others as u64);
-        others
+        self.stats
+            .invalidations_sent
+            .add(victims.count_ones() as u64);
+        (0..32).filter(|c| victims & (1 << c) != 0).collect()
     }
 
     /// A core silently drops its copy (clean eviction) or writes it back
@@ -265,7 +271,7 @@ mod tests {
         d.read(9, 1);
         d.read(9, 2);
         let invals = d.write(9, 0);
-        assert_eq!(invals, 2);
+        assert_eq!(invals, vec![1, 2]);
         let e = d.entry(9).unwrap();
         assert_eq!(e.n_sharers(), 1);
         assert!(e.exclusive);
@@ -276,7 +282,7 @@ mod tests {
     fn write_by_sole_owner_sends_no_invalidations() {
         let mut d = Directory::new();
         d.read(9, 4);
-        assert_eq!(d.write(9, 4), 0);
+        assert!(d.write(9, 4).is_empty());
     }
 
     #[test]

@@ -289,6 +289,26 @@ impl SystemConfig {
         }
     }
 
+    /// A machine with an arbitrary `cols × rows` mesh (one core and one
+    /// bank per tile), including non-power-of-two tile counts — the
+    /// placement policies stripe by modulo when masking is unsound (see
+    /// `renuca_core::mapping`). Used by the differential harness to check
+    /// that no pow2 assumption leaks into the placement or cache paths.
+    pub fn mesh(cols: usize, rows: usize) -> Self {
+        let n = cols * rows;
+        assert!(n > 0, "mesh needs at least one tile");
+        SystemConfig {
+            n_cores: n,
+            n_banks: n,
+            noc: NocConfig {
+                cols,
+                rows,
+                ..NocConfig::default()
+            },
+            ..SystemConfig::default()
+        }
+    }
+
     /// Echo every configuration knob into `reg` under `<prefix>.<field>`
     /// dotted paths (e.g. `config.n_cores`, `config.l3_bank.size_bytes`),
     /// in declaration order. Booleans register as 0/1;
@@ -388,7 +408,9 @@ impl SystemConfig {
             "mesh must have one tile per core"
         );
         assert!(self.rob_entries >= self.fetch_width);
-        assert!(self.n_banks.is_power_of_two(), "bank masking needs pow2");
+        // Bank counts need not be powers of two: every bank-selection path
+        // (S-NUCA striping, owner decoding, DRAM channel hashing) either
+        // masks behind a pow2 check or falls back to modulo.
         // Trigger the power-of-two set checks.
         let _ = self.l1.sets();
         let _ = self.l2.sets();
@@ -480,6 +502,18 @@ mod tests {
     #[should_panic(expected = "square")]
     fn small_rejects_non_square() {
         SystemConfig::small(3);
+    }
+
+    #[test]
+    fn mesh_allows_non_pow2_tile_counts() {
+        let c = SystemConfig::mesh(3, 2);
+        c.validate();
+        assert_eq!(c.n_cores, 6);
+        assert_eq!(c.n_banks, 6);
+        assert_eq!((c.noc.cols, c.noc.rows), (3, 2));
+        SystemConfig::mesh(2, 2).validate();
+        SystemConfig::mesh(1, 1).validate();
+        SystemConfig::mesh(5, 1).validate();
     }
 
     #[test]

@@ -383,9 +383,26 @@ impl MemoryHierarchy {
             self.mesh.traverse(fill_bank, core, self.data_flits, t_fill)
         };
 
-        // Coherence: grant the line to this core's private caches.
+        // Coherence: grant the line to this core's private caches. A store
+        // invalidates every other sharer's private copy; their dirty data
+        // (if any) is superseded by the incoming store, exactly as a
+        // dirty-forwarding MESI transfer would — it is never written back.
+        // Leaving those copies resident would break L3 inclusion: a later
+        // bank eviction back-invalidates only the cores the directory
+        // lists, and an untracked dirty copy would eventually write back a
+        // line the L3 no longer holds.
         if is_store {
-            self.dir.write(line, core);
+            for holder in self.dir.write(line, core) {
+                self.l1[holder].invalidate(line);
+                self.l2[holder].invalidate(line);
+                self.trace.record(TraceEvent::Coherence {
+                    cycle: data_at_core,
+                    core: holder as u32,
+                    line,
+                });
+                self.mesh
+                    .traverse(bank, holder, self.ctrl_flits, data_at_core);
+            }
         } else {
             self.dir.read(line, core);
         }

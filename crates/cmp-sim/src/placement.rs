@@ -86,6 +86,15 @@ pub trait LlcPlacement {
         let _ = meta;
         None
     }
+
+    /// Concrete-type escape hatch for verification tooling: policies with
+    /// inspectable internal state (Re-NUCA's Mapping Bit Vectors, the Naive
+    /// oracle's directory and write counters) return `Some(self)` so the
+    /// differential harness can downcast and compare that state against a
+    /// reference model after a run. Stateless policies keep the default.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Statistics exposed by a criticality predictor.

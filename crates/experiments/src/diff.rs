@@ -1,0 +1,970 @@
+//! Differential verification: the real simulator vs the golden model.
+//!
+//! [`replay`] drives one seeded trace through `cmp_sim::MemoryHierarchy`
+//! and `golden::GoldenSystem` in lockstep and cross-checks, per access:
+//!
+//! * every placement event (fill / writeback → which bank), with the
+//!   timing-dependent `cycle` field ignored;
+//! * the acting core's [`PerCoreMemStats`] counters;
+//! * the per-bank write histogram;
+//! * for Re-NUCA, the issue-time criticality prediction of twin CPTs.
+//!
+//! At end of trace it additionally compares a full [`StatsRegistry`] dump
+//! (per-core, hierarchy and coherence-directory counters, byte for byte),
+//! the per-slot wear counters, and the policy-internal state reachable
+//! through [`LlcPlacement::as_any`]: Re-NUCA's Mapping Bit Vectors and the
+//! Naive oracle's directory + write counters.
+//!
+//! On a mismatch, [`shrink`] runs classic ddmin delta debugging to find a
+//! 1-minimal failing sub-trace, which [`write_shrunk_trace`] serializes in
+//! the `renuca-trace-v1` format (seed in the filename) for replay with
+//! `cargo run -p experiments --bin diffcheck -- --replay <file>`.
+//!
+//! [`mutation_check`] proves the harness has teeth: it wraps the S-NUCA
+//! policy in a `MutantPolicy` that deliberately mis-places a subset of
+//! lines, and demands that the harness catches the bug and shrinks it.
+//!
+//! The metamorphic checks ([`write_conservation`], [`snuca_shift_symmetry`],
+//! [`parallel_matches_serial`]) assert relations that must hold *across*
+//! runs: placement policy cannot change total write volume in an
+//! eviction-free regime, S-NUCA histograms translate with the address
+//! stream, and the worker pool cannot change any result.
+//!
+//! [`PerCoreMemStats`]: cmp_sim::hierarchy::PerCoreMemStats
+//! [`LlcPlacement::as_any`]: cmp_sim::placement::LlcPlacement::as_any
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use cmp_sim::config::SystemConfig;
+use cmp_sim::hierarchy::MemoryHierarchy;
+use cmp_sim::placement::{AccessMeta, CriticalityPredictor, LlcPlacement};
+use cmp_sim::types::{line_of, owner_of_line, page_of_line, BankId, Cycle};
+use golden::{
+    generate, trace_to_text, GoldenCpt, GoldenEvent, GoldenEventKind, GoldenPolicy, GoldenScheme,
+    GoldenSystem, TraceOp, TraceSpec,
+};
+use renuca_core::{Cpt, CptConfig, NaiveOracle, ReNuca, Scheme};
+use sim_stats::{StatsRegistry, TraceBuffer, TraceCategory, TraceEvent};
+
+use crate::pool::parallel_map_threads;
+
+/// A divergence between the real simulator and the golden model.
+#[derive(Clone, Debug)]
+pub struct Mismatch {
+    /// Index of the op after which the divergence was detected
+    /// (`ops.len()` for end-of-trace state divergences).
+    pub op_index: usize,
+    /// Human-readable description of what differed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op {}: {}", self.op_index, self.detail)
+    }
+}
+
+/// Order-insensitive digest of one verified replay — everything the
+/// metamorphic checks compare across runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Ops replayed.
+    pub ops: usize,
+    /// Demand fills into the L3.
+    pub l3_fills: u64,
+    /// All L3 writes (fills + L2 writebacks).
+    pub l3_writes: u64,
+    /// Dirty L2 victims written back, summed over cores.
+    pub l2_writebacks: u64,
+    /// Per-bank write totals (the wear histogram).
+    pub bank_totals: Vec<u64>,
+}
+
+/// The two mesh geometries every corpus run covers: placement masking is
+/// only sound for power-of-two tile counts, so a non-pow2 mesh rides along
+/// to catch any `& (n-1)` where a `% n` was needed.
+pub fn harness_configs() -> Vec<(&'static str, SystemConfig)> {
+    vec![
+        ("pow2-2x2", tiny_cfg(2, 2)),
+        ("nonpow2-3x2", tiny_cfg(3, 2)),
+    ]
+}
+
+/// A scaled-down machine whose caches churn under the default trace
+/// footprint: L1/L2/L3 evictions, writebacks, back-invalidations and TLB
+/// evictions all fire within a few thousand ops.
+pub fn tiny_cfg(cols: usize, rows: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::mesh(cols, rows);
+    cfg.l1.size_bytes = 1024; // 16 lines, 2-way
+    cfg.l1.assoc = 2;
+    cfg.l2.size_bytes = 4 * 1024; // 64 lines, 4-way
+    cfg.l2.assoc = 4;
+    cfg.l3_bank.size_bytes = 8 * 1024; // 128 lines/bank, 4-way
+    cfg.l3_bank.assoc = 4;
+    cfg.tlb_entries = 8; // forces MBV write-back/refill traffic
+    cfg.tlb_assoc = 2;
+    cfg.prefetch.enabled = false;
+    cfg.validate();
+    cfg
+}
+
+/// A machine roomy enough that a small-footprint trace causes *no*
+/// capacity evictions at any level — the regime where the metamorphic
+/// invariants (write conservation, histogram translation) hold exactly.
+pub fn roomy_cfg(cols: usize, rows: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::mesh(cols, rows);
+    cfg.l3_bank.size_bytes = 512 * 1024; // 8192 lines/bank
+    cfg.prefetch.enabled = false;
+    cfg.validate();
+    cfg
+}
+
+/// Replay `ops` through both simulators and cross-check; `Ok` carries the
+/// run digest, `Err` the first divergence.
+pub fn replay(
+    scheme: Scheme,
+    cfg: &SystemConfig,
+    ops: &[TraceOp],
+) -> Result<ReplayReport, Mismatch> {
+    run_diff(scheme, cfg, ops, false)
+}
+
+/// [`replay`] with the deliberate `MutantPolicy` placement bug injected
+/// into the real side — used by [`mutation_check`] to prove the harness
+/// catches real divergences. Only meaningful for stateless schemes
+/// (S-NUCA / R-NUCA / Private): the mutant's hooks pass twisted bank ids
+/// through to the inner policy.
+pub fn replay_mutated(
+    scheme: Scheme,
+    cfg: &SystemConfig,
+    ops: &[TraceOp],
+) -> Result<ReplayReport, Mismatch> {
+    run_diff(scheme, cfg, ops, true)
+}
+
+/// The injected bug: lines with `line % 17 == 3` are routed one bank to
+/// the right of where the wrapped policy wants them. Lookup and fill are
+/// twisted *consistently*, so the real hierarchy stays internally coherent
+/// (no inclusion violations, no duplicate fills) — only the differential
+/// comparison can notice.
+struct MutantPolicy {
+    inner: Box<dyn LlcPlacement>,
+    n_banks: usize,
+}
+
+impl MutantPolicy {
+    fn mutates(line: u64) -> bool {
+        line % 17 == 3
+    }
+
+    fn twist(&self, bank: BankId, line: u64) -> BankId {
+        if Self::mutates(line) {
+            (bank + 1) % self.n_banks
+        } else {
+            bank
+        }
+    }
+}
+
+impl LlcPlacement for MutantPolicy {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn lookup_bank(&mut self, meta: &AccessMeta) -> BankId {
+        let bank = self.inner.lookup_bank(meta);
+        self.twist(bank, meta.line)
+    }
+
+    fn fill_bank(&mut self, meta: &AccessMeta) -> BankId {
+        let bank = self.inner.fill_bank(meta);
+        self.twist(bank, meta.line)
+    }
+
+    fn on_fill(&mut self, meta: &AccessMeta, bank: BankId) {
+        self.inner.on_fill(meta, bank);
+    }
+
+    fn on_l3_write(&mut self, bank: BankId) {
+        self.inner.on_l3_write(bank);
+    }
+
+    fn on_evict(&mut self, line: u64, bank: BankId) {
+        self.inner.on_evict(line, bank);
+    }
+
+    fn lookup_overhead(&self) -> Cycle {
+        self.inner.lookup_overhead()
+    }
+}
+
+/// The owning core of a line, exactly as `renuca_core::mapping` computes
+/// it: mask for pow2 machine sizes, modulo otherwise.
+fn owner(line: u64, n: usize) -> usize {
+    let raw = owner_of_line(line);
+    if n.is_power_of_two() {
+        raw & (n - 1)
+    } else {
+        raw % n
+    }
+}
+
+fn convert_event(ev: &TraceEvent) -> Option<GoldenEvent> {
+    match *ev {
+        TraceEvent::Fill {
+            core, bank, line, ..
+        } => Some(GoldenEvent {
+            kind: GoldenEventKind::Fill,
+            core: core as usize,
+            bank: bank as usize,
+            line,
+        }),
+        TraceEvent::Writeback {
+            core, bank, line, ..
+        } => Some(GoldenEvent {
+            kind: GoldenEventKind::Writeback,
+            core: core as usize,
+            bank: bank as usize,
+            line,
+        }),
+        _ => None,
+    }
+}
+
+fn run_diff(
+    scheme: Scheme,
+    cfg: &SystemConfig,
+    ops: &[TraceOp],
+    mutate: bool,
+) -> Result<ReplayReport, Mismatch> {
+    let (cols, rows) = (cfg.noc.cols, cfg.noc.rows);
+    assert_eq!(
+        cfg.n_cores,
+        cols * rows,
+        "harness expects one core per tile"
+    );
+    assert_eq!(
+        cfg.n_banks, cfg.n_cores,
+        "harness expects one bank per tile"
+    );
+
+    let mut policy = scheme.build_policy(cfg);
+    if mutate {
+        policy = Box::new(MutantPolicy {
+            inner: policy,
+            n_banks: cfg.n_banks,
+        });
+    }
+    let mut h = MemoryHierarchy::new(cfg, policy);
+    // Capture placement events per access; one op emits at most one fill
+    // plus one writeback, so a small buffer drained every op never wraps.
+    h.trace = TraceBuffer::with_categories(16, &[TraceCategory::Fill, TraceCategory::Writeback]);
+
+    let gscheme = GoldenScheme::from_name(scheme.name()).expect("golden mirrors every scheme");
+    let mut g = GoldenSystem::new(cfg, GoldenPolicy::new(gscheme, cols, rows));
+
+    // Twin criticality predictors (Re-NUCA only): the real CPT feeds the
+    // real hierarchy, the golden CPT feeds the golden system, and their
+    // verdicts must agree at every issue.
+    let renuca = scheme == Scheme::ReNuca;
+    let cpt_cfg = CptConfig::default();
+    let mut cpts: Vec<Cpt> = (0..cfg.n_cores).map(|_| Cpt::new(cpt_cfg)).collect();
+    let mut gcpts: Vec<GoldenCpt> = (0..cfg.n_cores)
+        .map(|_| GoldenCpt::new(cpt_cfg.entries, cpt_cfg.threshold_pct, cpt_cfg.aging_cap))
+        .collect();
+
+    for (i, op) in ops.iter().enumerate() {
+        // Timing is not compared, but the hierarchy wants monotone time.
+        let now = i as u64 * 100;
+
+        let predicted = if renuca && !op.is_store {
+            let real = cpts[op.core].predict(op.pc);
+            let gold = gcpts[op.core].predict(op.pc);
+            if real != gold {
+                return Err(Mismatch {
+                    op_index: i,
+                    detail: format!(
+                        "CPT verdicts diverged for pc {:#x}: real {real}, golden {gold}",
+                        op.pc
+                    ),
+                });
+            }
+            real
+        } else {
+            false
+        };
+
+        if op.is_store {
+            h.store(op.core, op.phys, op.pc, now);
+        } else {
+            h.load(op.core, op.phys, op.pc, predicted, now);
+        }
+        let real_events: Vec<GoldenEvent> = h.trace.iter().filter_map(convert_event).collect();
+        h.trace.clear();
+
+        let golden_events = g.step(op.core, op.phys, predicted, op.is_store);
+        if real_events != golden_events {
+            return Err(Mismatch {
+                op_index: i,
+                detail: format!(
+                    "placement events diverged for line {:#x} (core {}): real {:?}, golden {:?}",
+                    line_of(op.phys),
+                    op.core,
+                    real_events,
+                    golden_events
+                ),
+            });
+        }
+
+        let rc = h.per_core_stats(op.core);
+        let gc = &g.per_core[op.core];
+        let real_tuple = (
+            rc.l1_misses,
+            rc.l3_accesses,
+            rc.l3_hits,
+            rc.l3_misses,
+            rc.l2_writebacks,
+        );
+        let gold_tuple = (
+            gc.l1_misses,
+            gc.l3_accesses,
+            gc.l3_hits,
+            gc.l3_misses,
+            gc.l2_writebacks,
+        );
+        if real_tuple != gold_tuple {
+            return Err(Mismatch {
+                op_index: i,
+                detail: format!(
+                    "core {} counters diverged (l1_misses, l3_accesses, l3_hits, l3_misses, \
+                     l2_writebacks): real {:?}, golden {:?}",
+                    op.core, real_tuple, gold_tuple
+                ),
+            });
+        }
+
+        if h.wear.bank_totals() != g.bank_totals().as_slice() {
+            return Err(Mismatch {
+                op_index: i,
+                detail: format!(
+                    "per-bank write histogram diverged: real {:?}, golden {:?}",
+                    h.wear.bank_totals(),
+                    g.bank_totals()
+                ),
+            });
+        }
+
+        // CPT training happens at retirement, after the access completes.
+        if renuca && !op.is_store {
+            if op.blocked {
+                cpts[op.core].on_rob_block(op.pc);
+                gcpts[op.core].on_rob_block(op.pc);
+            }
+            cpts[op.core].on_load_commit(op.pc, op.blocked);
+            gcpts[op.core].on_load_commit(op.pc, op.blocked);
+        }
+    }
+
+    final_state_compare(&h, &g, cfg, ops, &cpts, &gcpts, renuca)?;
+
+    Ok(ReplayReport {
+        ops: ops.len(),
+        l3_fills: h.stats.l3_fills.get(),
+        l3_writes: h.stats.l3_writes.get(),
+        l2_writebacks: (0..cfg.n_cores)
+            .map(|c| h.per_core_stats(c).l2_writebacks)
+            .sum(),
+        bank_totals: h.wear.bank_totals().to_vec(),
+    })
+}
+
+/// End-of-trace comparison: full registry dump, per-slot wear, policy
+/// internals, CPT counters.
+fn final_state_compare(
+    h: &MemoryHierarchy,
+    g: &GoldenSystem,
+    cfg: &SystemConfig,
+    ops: &[TraceOp],
+    cpts: &[Cpt],
+    gcpts: &[GoldenCpt],
+    renuca: bool,
+) -> Result<(), Mismatch> {
+    let end = ops.len();
+    let fail = |detail: String| Mismatch {
+        op_index: end,
+        detail,
+    };
+
+    // 1. Aggregate counters through the registry, compared as rendered
+    // dumps so key naming and ordering are part of the checked contract.
+    let mut real_reg = StatsRegistry::new();
+    for c in 0..cfg.n_cores {
+        h.per_core_stats(c)
+            .register(&mut real_reg, &format!("core{c}"));
+    }
+    h.stats.register(&mut real_reg, "hierarchy");
+    h.dir.stats.register(&mut real_reg, "dir");
+
+    let mut gold_reg = StatsRegistry::new();
+    for c in 0..cfg.n_cores {
+        let p = format!("core{c}");
+        let s = &g.per_core[c];
+        gold_reg.set(format!("{p}.l1_misses"), s.l1_misses);
+        gold_reg.set(format!("{p}.l3_accesses"), s.l3_accesses);
+        gold_reg.set(format!("{p}.l3_hits"), s.l3_hits);
+        gold_reg.set(format!("{p}.l3_misses"), s.l3_misses);
+        gold_reg.set(format!("{p}.l2_writebacks"), s.l2_writebacks);
+    }
+    // HierarchyStats keys in declaration order. Under the harness
+    // preconditions (no prefetch, no rotation, no block-criticality, no
+    // two-probe policy) the last seven must be zero on the real side, and
+    // l3_writes_noncritical is only bumped on the fill path — i.e. it
+    // equals l3_fills_noncritical.
+    gold_reg.set("hierarchy.l3_fills", g.stats.l3_fills);
+    gold_reg.set(
+        "hierarchy.l3_fills_noncritical",
+        g.stats.l3_fills_noncritical,
+    );
+    gold_reg.set("hierarchy.l3_writes", g.stats.l3_writes);
+    gold_reg.set(
+        "hierarchy.l3_writes_noncritical",
+        g.stats.l3_fills_noncritical,
+    );
+    gold_reg.set(
+        "hierarchy.l3_writebacks_to_dram",
+        g.stats.l3_writebacks_to_dram,
+    );
+    gold_reg.set("hierarchy.back_invalidations", g.stats.back_invalidations);
+    for zero_key in [
+        "hierarchy.prefetches_issued",
+        "hierarchy.prefetch_fills",
+        "hierarchy.prefetch_l3_hits",
+        "hierarchy.set_rotations",
+        "hierarchy.rotation_flushes",
+        "hierarchy.secondary_probes",
+        "hierarchy.secondary_hits",
+    ] {
+        gold_reg.set(zero_key, 0u64);
+    }
+    gold_reg.set("dir.grants_exclusive", g.dir_stats.grants_exclusive);
+    gold_reg.set("dir.grants_shared", g.dir_stats.grants_shared);
+    gold_reg.set("dir.upgrades_modified", g.dir_stats.upgrades_modified);
+    gold_reg.set("dir.invalidations_sent", g.dir_stats.invalidations_sent);
+    gold_reg.set("dir.back_invalidations", g.dir_stats.back_invalidations);
+
+    let (real_dump, gold_dump) = (real_reg.dump(), gold_reg.dump());
+    if real_dump != gold_dump {
+        let diff = real_dump
+            .lines()
+            .zip(gold_dump.lines())
+            .find(|(a, b)| a != b)
+            .map(|(a, b)| format!("real `{a}` vs golden `{b}`"))
+            .unwrap_or_else(|| "dumps differ in length".to_owned());
+        return Err(fail(format!("stats-registry dump diverged: {diff}")));
+    }
+
+    // 2. Per-slot wear counters.
+    let slots = cfg.l3_bank.lines();
+    for bank in 0..cfg.n_banks {
+        for slot in 0..slots {
+            let (real, gold) = (h.wear.slot_writes(bank, slot), g.wear[bank][slot]);
+            if real != gold {
+                return Err(fail(format!(
+                    "wear diverged at bank {bank} slot {slot}: real {real}, golden {gold}"
+                )));
+            }
+        }
+    }
+
+    // 3. Policy-internal state via the as_any escape hatch.
+    if let Some(any) = h.policy().as_any() {
+        if let Some(real) = any.downcast_ref::<NaiveOracle>() {
+            if real.write_counters() != g.policy.naive_writes.as_slice() {
+                return Err(fail(format!(
+                    "Naive write counters diverged: real {:?}, golden {:?}",
+                    real.write_counters(),
+                    g.policy.naive_writes
+                )));
+            }
+            if real.directory_len() != g.policy.naive_directory.len() {
+                return Err(fail(format!(
+                    "Naive directory size diverged: real {}, golden {}",
+                    real.directory_len(),
+                    g.policy.naive_directory.len()
+                )));
+            }
+        }
+        if let Some(real) = any.downcast_ref::<ReNuca>() {
+            let rs = &real.renuca_stats;
+            let gs = &g.policy.renuca_stats;
+            let real_tuple = (
+                rs.critical_fills,
+                rs.noncritical_fills,
+                rs.lookups_rnuca,
+                rs.lookups_snuca,
+            );
+            let gold_tuple = (
+                gs.critical_fills,
+                gs.noncritical_fills,
+                gs.lookups_rnuca,
+                gs.lookups_snuca,
+            );
+            if real_tuple != gold_tuple {
+                return Err(fail(format!(
+                    "Re-NUCA placement counters diverged (critical_fills, noncritical_fills, \
+                     lookups_rnuca, lookups_snuca): real {:?}, golden {:?}",
+                    real_tuple, gold_tuple
+                )));
+            }
+            // MBV contents over every (owner core, page) the trace could
+            // have touched, plus everything the golden map still holds —
+            // catches both stale bits and lost bits.
+            let mut keys: BTreeSet<(usize, u64)> = g.policy.mbv.keys().copied().collect();
+            for op in ops {
+                let line = line_of(op.phys);
+                keys.insert((owner(line, cfg.n_cores), page_of_line(line)));
+            }
+            for (core, page) in keys {
+                let real_word = real.tlb(core).mbv(page);
+                let gold_word = g.policy.mbv_word(core, page);
+                if real_word != gold_word {
+                    return Err(fail(format!(
+                        "MBV diverged for core {core} page {page:#x}: real {real_word:#018x}, \
+                         golden {gold_word:#018x}"
+                    )));
+                }
+            }
+        }
+    }
+
+    // 4. CPT lifecycle counters (Re-NUCA only).
+    if renuca {
+        for (c, (real, gold)) in cpts.iter().zip(gcpts.iter()).enumerate() {
+            let rs = real.cpt_stats;
+            let rp = real.stats();
+            let real_tuple = (
+                rs.hits,
+                rs.misses,
+                rs.insertions,
+                rs.replacements,
+                rp.predicted_critical,
+                rp.predicted_noncritical,
+            );
+            let gold_tuple = (
+                gold.hits,
+                gold.misses,
+                gold.insertions,
+                gold.replacements,
+                gold.predicted_critical,
+                gold.predicted_noncritical,
+            );
+            if real_tuple != gold_tuple {
+                return Err(fail(format!(
+                    "core {c} CPT counters diverged (hits, misses, insertions, replacements, \
+                     predicted_critical, predicted_noncritical): real {:?}, golden {:?}",
+                    real_tuple, gold_tuple
+                )));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+// --- delta debugging -----------------------------------------------------
+
+/// Classic ddmin: shrink `ops` to a 1-minimal subsequence for which
+/// `still_fails` holds. `still_fails(ops)` must be true on entry.
+pub fn ddmin<F>(ops: &[TraceOp], still_fails: F) -> Vec<TraceOp>
+where
+    F: Fn(&[TraceOp]) -> bool,
+{
+    assert!(still_fails(ops), "ddmin needs a failing input to shrink");
+    let mut cur = ops.to_vec();
+    let mut n = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+
+        // Try each chunk alone.
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let subset = cur[start..end].to_vec();
+            if still_fails(&subset) {
+                cur = subset;
+                n = 2;
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if reduced {
+            continue;
+        }
+
+        // Try each complement.
+        start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut complement = cur[..start].to_vec();
+            complement.extend_from_slice(&cur[end..]);
+            if !complement.is_empty() && still_fails(&complement) {
+                cur = complement;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if reduced {
+            continue;
+        }
+
+        if n >= cur.len() {
+            break; // at granularity 1 with nothing removable: 1-minimal
+        }
+        n = (n * 2).min(cur.len());
+    }
+    cur
+}
+
+/// Shrink a failing trace to a 1-minimal failing sub-trace with ddmin.
+pub fn shrink(scheme: Scheme, cfg: &SystemConfig, ops: &[TraceOp], mutated: bool) -> Vec<TraceOp> {
+    ddmin(ops, |sub| run_diff(scheme, cfg, sub, mutated).is_err())
+}
+
+/// Serialize a (shrunk) trace to `<out_dir>/<tag>_<scheme>_seed<seed>.trace`
+/// in the `renuca-trace-v1` format.
+pub fn write_shrunk_trace(
+    out_dir: &Path,
+    tag: &str,
+    scheme: Scheme,
+    cfg: &SystemConfig,
+    seed: u64,
+    ops: &[TraceOp],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let slug: String = scheme
+        .name()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = out_dir.join(format!("{tag}_{slug}_seed{seed}.trace"));
+    std::fs::write(
+        &path,
+        trace_to_text(scheme.name(), cfg.noc.cols, cfg.noc.rows, seed, ops),
+    )?;
+    Ok(path)
+}
+
+// --- corpus driver -------------------------------------------------------
+
+/// One failing corpus cell, shrunk and serialized.
+#[derive(Debug)]
+pub struct CorpusFailure {
+    /// Scheme that diverged.
+    pub scheme: Scheme,
+    /// Label of the mesh configuration (see [`harness_configs`]).
+    pub config: &'static str,
+    /// Generator seed.
+    pub seed: u64,
+    /// The first divergence on the full trace.
+    pub mismatch: Mismatch,
+    /// Length of the ddmin-shrunk reproducer.
+    pub minimal_len: usize,
+    /// Where the shrunk trace was written (`None` if the write failed).
+    pub trace_path: Option<PathBuf>,
+}
+
+/// Summary of a corpus sweep.
+#[derive(Debug, Default)]
+pub struct CorpusReport {
+    /// Traces replayed (seeds × schemes × configs).
+    pub replays: usize,
+    /// Total ops cross-checked.
+    pub ops_checked: usize,
+    /// Every divergence found, shrunk.
+    pub failures: Vec<CorpusFailure>,
+}
+
+/// Replay `seeds` seeded traces of `ops_per_trace` ops through every
+/// scheme on every harness config; shrink and serialize any divergence
+/// into `out_dir`.
+pub fn run_corpus(
+    seeds: std::ops::Range<u64>,
+    ops_per_trace: usize,
+    out_dir: &Path,
+) -> CorpusReport {
+    let mut report = CorpusReport::default();
+    for (label, cfg) in harness_configs() {
+        for seed in seeds.clone() {
+            let spec = TraceSpec::new(seed, cfg.noc.cols, cfg.noc.rows, ops_per_trace);
+            let ops = generate(&spec);
+            for scheme in Scheme::ALL {
+                report.replays += 1;
+                report.ops_checked += ops.len();
+                if let Err(mismatch) = replay(scheme, &cfg, &ops) {
+                    let minimal = shrink(scheme, &cfg, &ops, false);
+                    let trace_path =
+                        write_shrunk_trace(out_dir, "diff_mismatch", scheme, &cfg, seed, &minimal)
+                            .ok();
+                    report.failures.push(CorpusFailure {
+                        scheme,
+                        config: label,
+                        seed,
+                        mismatch,
+                        minimal_len: minimal.len(),
+                        trace_path,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+// --- mutation self-check -------------------------------------------------
+
+/// Outcome of a successful [`mutation_check`].
+#[derive(Debug)]
+pub struct MutationReport {
+    /// Ops in the original failing trace.
+    pub original_len: usize,
+    /// Ops left after ddmin.
+    pub minimal_len: usize,
+    /// The first divergence the harness reported.
+    pub detail: String,
+    /// Where the shrunk reproducer was written.
+    pub trace_path: PathBuf,
+}
+
+/// Prove the harness catches bugs: inject the `MutantPolicy` placement
+/// bug under S-NUCA, demand a divergence, shrink it to a 1-minimal trace
+/// and serialize it. Errors describe which leg of the proof failed.
+pub fn mutation_check(seed: u64, ops_n: usize, out_dir: &Path) -> Result<MutationReport, String> {
+    let cfg = tiny_cfg(2, 2);
+    let spec = TraceSpec::new(seed, 2, 2, ops_n);
+    let ops = generate(&spec);
+
+    replay(Scheme::SNuca, &cfg, &ops)
+        .map_err(|m| format!("harness diverges even without the mutant: {m}"))?;
+
+    let mismatch = match replay_mutated(Scheme::SNuca, &cfg, &ops) {
+        Ok(_) => {
+            return Err(format!(
+                "injected placement bug escaped the harness (seed {seed}, {ops_n} ops)"
+            ))
+        }
+        Err(m) => m,
+    };
+
+    let minimal = shrink(Scheme::SNuca, &cfg, &ops, true);
+    if !minimal.is_empty() && replay_mutated(Scheme::SNuca, &cfg, &minimal).is_ok() {
+        return Err("shrunk trace no longer reproduces the divergence".to_owned());
+    }
+    // 1-minimality: removing any single op must make the divergence vanish.
+    for i in 0..minimal.len() {
+        let mut without: Vec<TraceOp> = minimal.clone();
+        without.remove(i);
+        if !without.is_empty() && replay_mutated(Scheme::SNuca, &cfg, &without).is_err() {
+            return Err(format!(
+                "shrunk trace is not 1-minimal: dropping op {i} still diverges"
+            ));
+        }
+    }
+
+    let trace_path = write_shrunk_trace(out_dir, "mutant", Scheme::SNuca, &cfg, seed, &minimal)
+        .map_err(|e| format!("failed to write shrunk trace: {e}"))?;
+
+    Ok(MutationReport {
+        original_len: ops.len(),
+        minimal_len: minimal.len(),
+        detail: mismatch.to_string(),
+        trace_path,
+    })
+}
+
+// --- metamorphic invariants ----------------------------------------------
+
+/// Placement cannot change write volume: in an eviction-free regime every
+/// scheme sees the same distinct-line fills and the same writebacks, so
+/// `l3_fills`, `l3_writes`, `l2_writebacks` and the histogram *total* must
+/// agree across all five schemes (the histograms themselves differ — that
+/// is the point of the paper).
+pub fn write_conservation(cols: usize, rows: usize, seed: u64, ops_n: usize) -> Result<(), String> {
+    let cfg = roomy_cfg(cols, rows);
+    let mut spec = TraceSpec::new(seed, cols, rows, ops_n);
+    spec.footprint_pages = 4; // fits every level: zero capacity evictions
+    let ops = generate(&spec);
+
+    let mut baseline: Option<(Scheme, ReplayReport)> = None;
+    for scheme in Scheme::ALL {
+        let report = replay(scheme, &cfg, &ops)
+            .map_err(|m| format!("{} diverged during conservation check: {m}", scheme.name()))?;
+        let total: u64 = report.bank_totals.iter().sum();
+        if total != report.l3_writes {
+            return Err(format!(
+                "{}: histogram total {total} != l3_writes {}",
+                scheme.name(),
+                report.l3_writes
+            ));
+        }
+        match &baseline {
+            None => baseline = Some((scheme, report)),
+            Some((base_scheme, base)) => {
+                let same = base.l3_fills == report.l3_fills
+                    && base.l3_writes == report.l3_writes
+                    && base.l2_writebacks == report.l2_writebacks;
+                if !same {
+                    return Err(format!(
+                        "write totals not conserved: {} (fills {}, writes {}, wb {}) vs {} \
+                         (fills {}, writes {}, wb {})",
+                        base_scheme.name(),
+                        base.l3_fills,
+                        base.l3_writes,
+                        base.l2_writebacks,
+                        scheme.name(),
+                        report.l3_fills,
+                        report.l3_writes,
+                        report.l2_writebacks
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// S-NUCA striping commutes with address translation: shifting every
+/// access by one line rotates the per-bank histogram by one position
+/// (eviction-free, private regime, so wear is exactly the distinct-line
+/// fill histogram).
+pub fn snuca_shift_symmetry(
+    cols: usize,
+    rows: usize,
+    seed: u64,
+    ops_n: usize,
+) -> Result<(), String> {
+    let cfg = roomy_cfg(cols, rows);
+    let n = cfg.n_banks;
+    let mut spec = TraceSpec::new(seed, cols, rows, ops_n);
+    spec.footprint_pages = 4;
+    spec.sharing = 0.0; // keep each core in its own region: no coherence churn
+    let ops = generate(&spec);
+    let shifted: Vec<TraceOp> = ops
+        .iter()
+        .map(|op| TraceOp {
+            phys: op.phys + 64, // one line over; stays inside the region
+            ..*op
+        })
+        .collect();
+
+    let base =
+        replay(Scheme::SNuca, &cfg, &ops).map_err(|m| format!("base trace diverged: {m}"))?;
+    let moved = replay(Scheme::SNuca, &cfg, &shifted)
+        .map_err(|m| format!("shifted trace diverged: {m}"))?;
+
+    for bank in 0..n {
+        let (orig, rotated) = (base.bank_totals[bank], moved.bank_totals[(bank + 1) % n]);
+        if orig != rotated {
+            return Err(format!(
+                "histogram did not rotate: bank {bank} wrote {orig}, shifted bank {} wrote \
+                 {rotated} (base {:?}, shifted {:?})",
+                (bank + 1) % n,
+                base.bank_totals,
+                moved.bank_totals
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The worker pool cannot change results: replaying a batch of seeds with
+/// one thread and with several must produce identical digests.
+pub fn parallel_matches_serial(seeds: &[u64], threads: usize, ops_n: usize) -> Result<(), String> {
+    let run = |seed: &u64| -> Result<ReplayReport, String> {
+        let cfg = tiny_cfg(2, 2);
+        let ops = generate(&TraceSpec::new(*seed, 2, 2, ops_n));
+        replay(Scheme::ReNuca, &cfg, &ops).map_err(|m| format!("seed {seed}: {m}"))
+    };
+    let serial = parallel_map_threads(seeds, 1, run);
+    let parallel = parallel_map_threads(seeds, threads, run);
+    for (s, p) in serial.iter().zip(parallel.iter()) {
+        match (s, p) {
+            (Err(e), _) | (_, Err(e)) => return Err(e.clone()),
+            (Ok(a), Ok(b)) if a != b => {
+                return Err(format!(
+                    "serial and parallel digests differ: {a:?} vs {b:?}"
+                ))
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddmin_finds_single_culprit() {
+        // A synthetic predicate: the "bug" is op with pc == 99.
+        let mut ops: Vec<TraceOp> = (0..40)
+            .map(|i| TraceOp {
+                core: 0,
+                phys: i * 64,
+                pc: 1 + i as u32,
+                is_store: false,
+                blocked: false,
+            })
+            .collect();
+        ops[23].pc = 99;
+        let minimal = ddmin(&ops, |sub| sub.iter().any(|op| op.pc == 99));
+        assert_eq!(minimal.len(), 1);
+        assert_eq!(minimal[0].pc, 99);
+    }
+
+    #[test]
+    fn ddmin_keeps_interacting_pair() {
+        // The failure needs *both* markers: ddmin must keep exactly the two.
+        let mut ops: Vec<TraceOp> = (0..32)
+            .map(|i| TraceOp {
+                core: 0,
+                phys: i * 64,
+                pc: 1 + i as u32,
+                is_store: false,
+                blocked: false,
+            })
+            .collect();
+        ops[3].pc = 77;
+        ops[28].pc = 88;
+        let minimal = ddmin(&ops, |sub| {
+            sub.iter().any(|o| o.pc == 77) && sub.iter().any(|o| o.pc == 88)
+        });
+        assert_eq!(minimal.len(), 2);
+        assert_eq!((minimal[0].pc, minimal[1].pc), (77, 88));
+    }
+
+    #[test]
+    fn tiny_config_actually_churns() {
+        // The harness relies on the tiny config exercising evictions; a
+        // quiet config would silently weaken every differential run.
+        let cfg = tiny_cfg(2, 2);
+        let ops = generate(&TraceSpec::new(11, 2, 2, 2000));
+        let report = replay(Scheme::SNuca, &cfg, &ops).expect("differential mismatch");
+        assert!(report.l3_fills > 0);
+        assert!(
+            report.l3_writes > report.l3_fills,
+            "no writebacks reached the L3 — shrink the private caches"
+        );
+    }
+}

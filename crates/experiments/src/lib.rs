@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod diff;
 pub mod figures;
 pub mod obs;
 pub mod pool;
 pub mod runner;
 
 pub use budget::Budget;
+pub use diff::{replay, ReplayReport};
 pub use obs::{Manifest, StatsSink};
 pub use pool::{parallel_map, parallel_map_threads};
 pub use runner::{run_single_app, run_workload, SchemeStudy};

@@ -1,0 +1,142 @@
+//! A naive re-implementation of the Criticality Prediction Table.
+//!
+//! Mirrors the observable semantics of `renuca_core::Cpt` (paper §IV.B):
+//! a direct-mapped, PC-tagged table of `(numLoadsCount, robBlockCount)`
+//! pairs; a load is critical when `robBlockCount ≥ x% × numLoadsCount`.
+//! The index hash (`pc * 0x9E37_79B9 >> 16`, masked) is part of the spec —
+//! conflicts and replacements are observable through predictions — so the
+//! golden model uses the same function over a `Vec<Option<Entry>>`.
+
+/// One table entry.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    pc: u32,
+    num_loads: u32,
+    rob_blocks: u32,
+}
+
+/// The golden CPT.
+#[derive(Clone, Debug)]
+pub struct GoldenCpt {
+    table: Vec<Option<Entry>>,
+    threshold_pct: f64,
+    aging_cap: u32,
+    /// Issue-time probes that found their PC.
+    pub hits: u64,
+    /// Issue-time probes that missed.
+    pub misses: u64,
+    /// Entries inserted at commit.
+    pub insertions: u64,
+    /// Entries displaced by a conflicting PC.
+    pub replacements: u64,
+    /// Loads predicted critical.
+    pub predicted_critical: u64,
+    /// Loads predicted non-critical.
+    pub predicted_noncritical: u64,
+}
+
+impl GoldenCpt {
+    /// Build a golden CPT with `entries` slots (power of two) and threshold
+    /// `x` percent.
+    pub fn new(entries: usize, threshold_pct: f64, aging_cap: u32) -> Self {
+        assert!(entries.is_power_of_two());
+        assert!(threshold_pct > 0.0 && threshold_pct <= 100.0);
+        GoldenCpt {
+            table: vec![None; entries],
+            threshold_pct,
+            aging_cap,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            replacements: 0,
+            predicted_critical: 0,
+            predicted_noncritical: 0,
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        (pc.wrapping_mul(0x9E37_79B9) >> 16) as usize & (self.table.len() - 1)
+    }
+
+    fn is_critical(e: &Entry, threshold_pct: f64) -> bool {
+        e.rob_blocks as f64 * 100.0 >= threshold_pct * e.num_loads as f64
+    }
+
+    /// Issue-time prediction: classify against past history, then count
+    /// this issue and apply aging.
+    pub fn predict(&mut self, pc: u32) -> bool {
+        let idx = self.index(pc);
+        let threshold = self.threshold_pct;
+        let cap = self.aging_cap;
+        let critical = match &mut self.table[idx] {
+            Some(e) if e.pc == pc => {
+                self.hits += 1;
+                let verdict = Self::is_critical(e, threshold);
+                e.num_loads = e.num_loads.saturating_add(1);
+                if e.num_loads >= cap {
+                    e.num_loads >>= 1;
+                    e.rob_blocks >>= 1;
+                }
+                verdict
+            }
+            _ => {
+                self.misses += 1;
+                false
+            }
+        };
+        if critical {
+            self.predicted_critical += 1;
+        } else {
+            self.predicted_noncritical += 1;
+        }
+        critical
+    }
+
+    /// The dynamic load at `pc` blocked the ROB head.
+    pub fn on_rob_block(&mut self, pc: u32) {
+        let idx = self.index(pc);
+        if let Some(e) = &mut self.table[idx] {
+            if e.pc == pc {
+                e.rob_blocks = e.rob_blocks.saturating_add(1);
+            }
+        }
+    }
+
+    /// The load at `pc` committed; inserts a new entry on a tag mismatch.
+    pub fn on_load_commit(&mut self, pc: u32, blocked: bool) {
+        let idx = self.index(pc);
+        match &self.table[idx] {
+            Some(e) if e.pc == pc => return,
+            Some(_) => self.replacements += 1,
+            None => {}
+        }
+        self.insertions += 1;
+        self.table[idx] = Some(Entry {
+            pc,
+            num_loads: 1,
+            rob_blocks: blocked as u32,
+        });
+    }
+
+    /// Read-only classification (no counting).
+    pub fn classify(&self, pc: u32) -> Option<bool> {
+        let e = self.table[self.index(pc)].as_ref()?;
+        (e.pc == pc).then(|| Self::is_critical(e, self.threshold_pct))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_lifecycle() {
+        let mut c = GoldenCpt::new(1024, 3.0, 1 << 20);
+        assert!(!c.predict(7)); // first touch: non-critical, miss
+        c.on_load_commit(7, true); // inserted (1, 1)
+        assert!(c.predict(7)); // 1 >= 3% of 1
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.insertions, 1);
+    }
+}

@@ -293,6 +293,9 @@ impl LlcPlacement for NaiveOracle {
     fn lookup_overhead(&self) -> Cycle {
         self.dir_latency
     }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -414,6 +417,10 @@ impl LlcPlacement for ReNuca {
     fn on_evict(&mut self, line: u64, _bank: BankId) {
         let (core, page, bit) = self.locate(line);
         self.tlbs[core].set_mbv_bit(page, bit, false);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

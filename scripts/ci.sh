@@ -7,11 +7,20 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: release build =="
 cargo build --release
 
+echo "== release binaries (member bins are not default targets of the root package) =="
+cargo build --release --workspace
+
 echo "== tier-1: tests =="
 cargo test -q
 
 echo "== workspace tests =="
 cargo test -q --workspace
+
+echo "== differential smoke: bounded seeded corpus vs the golden model =="
+# Fixed seeds, all five placement policies, pow2 and non-pow2 meshes
+# (see TESTING.md). diffcheck exits non-zero on any divergence and
+# writes the ddmin-shrunk reproducer under out/.
+./target/release/diffcheck --quick --out out
 
 echo "== examples =="
 cargo build --examples
