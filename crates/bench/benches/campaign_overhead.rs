@@ -1,0 +1,133 @@
+//! Scheduler-overhead benchmarks for the campaign subsystem.
+//!
+//! The question these answer: what does the durability machinery (journal
+//! fsyncs, per-job manifest writes, state re-scans, report aggregation)
+//! cost *on top of* running the same grid directly over the experiments
+//! thread pool? Three timed cases on an identical 4-job grid:
+//!
+//! * `direct_pool_grid4` — the pre-campaign path: `parallel_map_threads`
+//!   over `run_workload`, results kept in memory. The floor.
+//! * `scheduler_run_grid4` — a full `scheduler::run` into a fresh out dir
+//!   (journal + manifests + report). The delta to the floor is the total
+//!   durability overhead per 4 jobs.
+//! * `scheduler_resume_noop_grid4` — `scheduler::run` over an already
+//!   complete campaign: pure bookkeeping (journal scan, manifest
+//!   re-hash, report re-render), no simulation at all. This is the cost a
+//!   crash-resume pays before its first fresh job.
+//!
+//! Plus a `spec_parse_expand` micro for the pure-CPU front end. Recorded
+//! against `BENCH_2.json` per the baseline schema in `EXPERIMENTS.md`.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use bench::{bench, bench_with_setup};
+use campaign::scheduler::{self, RunOptions};
+use campaign::CampaignSpec;
+use experiments::pool::parallel_map_threads;
+use experiments::run_workload;
+use experiments::runner::lifetime_model;
+use renuca_core::CptConfig;
+use workloads::workload_mix;
+
+const SPEC: &str = "\
+renuca-campaign-v1
+name benchkit
+config small 4
+budget warmup=50 measure=300
+schemes S-NUCA Re-NUCA
+workloads 1 2
+thresholds 25
+";
+
+const THREADS: usize = 2;
+
+fn bench_root() -> PathBuf {
+    std::env::temp_dir().join(format!("campaign-bench-{}", std::process::id()))
+}
+
+fn fresh_dir(counter: &mut usize) -> PathBuf {
+    *counter += 1;
+    bench_root().join(format!("run-{counter}"))
+}
+
+fn bench_spec_parse() {
+    bench("campaign/spec_parse_expand", || {
+        let spec = CampaignSpec::parse(black_box(SPEC)).unwrap();
+        black_box(spec.jobs().len())
+    })
+    .report();
+}
+
+fn bench_direct_pool() {
+    let spec = CampaignSpec::parse(SPEC).unwrap();
+    let jobs = spec.jobs();
+    bench_with_setup(
+        "campaign/direct_pool_grid4",
+        || (),
+        |()| {
+            let results = parallel_map_threads(&jobs, THREADS, |job| {
+                let cfg = spec.config;
+                let wl = workload_mix(job.workload, cfg.n_cores);
+                let cpt = CptConfig::with_threshold(job.threshold_pct);
+                let r = run_workload(&wl, job.scheme, cfg, cpt, spec.budget);
+                let lifetimes = lifetime_model(&cfg).all_bank_lifetimes(&r.wear, r.cycles);
+                (r.total_ipc(), lifetimes)
+            });
+            black_box(results.len())
+        },
+    )
+    .report();
+}
+
+fn bench_scheduler_run(counter: &mut usize) {
+    let spec = CampaignSpec::parse(SPEC).unwrap();
+    bench_with_setup(
+        "campaign/scheduler_run_grid4",
+        || fresh_dir(counter),
+        |dir| {
+            let outcome = scheduler::run(
+                &spec,
+                &dir,
+                RunOptions {
+                    threads: THREADS,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(outcome.report.is_some());
+            black_box(outcome.executed)
+        },
+    )
+    .report();
+}
+
+fn bench_scheduler_resume_noop() {
+    let spec = CampaignSpec::parse(SPEC).unwrap();
+    let dir = bench_root().join("resume-noop");
+    let opts = RunOptions {
+        threads: THREADS,
+        ..RunOptions::default()
+    };
+    scheduler::run(&spec, &dir, opts).unwrap();
+    bench_with_setup(
+        "campaign/scheduler_resume_noop_grid4",
+        || (),
+        |()| {
+            let outcome = scheduler::run(&spec, &dir, opts).unwrap();
+            assert_eq!(outcome.executed, 0);
+            black_box(outcome.skipped)
+        },
+    )
+    .report();
+}
+
+fn main() {
+    println!("=== campaign scheduler overhead (in-tree harness; one JSON line per case) ===");
+    let mut counter = 0usize;
+    bench_spec_parse();
+    bench_direct_pool();
+    bench_scheduler_run(&mut counter);
+    bench_scheduler_resume_noop();
+    let _ = std::fs::remove_dir_all(bench_root());
+}

@@ -1,0 +1,82 @@
+//! The two tiny hashes the campaign layer depends on.
+//!
+//! * [`fnv1a64`] fingerprints things that must be *stable identifiers*
+//!   across processes and hosts: spec texts, canonical job keys, manifest
+//!   bytes. FNV-1a is not cryptographic — it guards against accidents
+//!   (editing a spec mid-campaign, a torn manifest), not adversaries, which
+//!   is exactly the journal's threat model.
+//! * [`crc32`] (IEEE 802.3, the zlib polynomial) frames journal records so
+//!   a record truncated by `kill -9` mid-write is detected and ignored on
+//!   resume.
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    crc ^ 0xffff_ffff
+}
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Reference values from the FNV specification.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+
+    #[test]
+    fn single_bit_flips_change_crc() {
+        let base = b"done id=j0123 manifest=jobs/j0123.json".to_vec();
+        let base_crc = crc32(&base);
+        for i in 0..base.len() {
+            let mut flipped = base.clone();
+            flipped[i] ^= 1;
+            assert_ne!(crc32(&flipped), base_crc, "flip at byte {i}");
+        }
+    }
+}

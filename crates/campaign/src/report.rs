@@ -1,0 +1,226 @@
+//! Campaign aggregation: merge per-job `renuca-manifest-v1` files into one
+//! `renuca-campaign-report-v1` document, and verify a finished campaign.
+//!
+//! The report is a pure function of the spec and the job manifests, walked
+//! in grid order. It carries no timestamps, attempt counts, shard layout or
+//! journal details, so the same completed campaign renders byte-identical
+//! bytes no matter how many crashes, resumes or shards produced it — that
+//! invariant is what the crash-recovery tests pin down.
+
+use std::fs;
+use std::path::Path;
+
+use sim_stats::json::{f64_array, parse, raw_array, u64_array, JsonObject, JsonValue};
+use wear_model::{hmean_lifetime_per_bank, lifetime_variation, raw_min_lifetime};
+
+use crate::hashes::fnv1a64;
+use crate::journal::{journal_files, read_journal, Record};
+use crate::scheduler::{load_state, CampaignState};
+use crate::spec::CampaignSpec;
+
+/// Schema id of the aggregate report.
+pub const REPORT_SCHEMA: &str = "renuca-campaign-report-v1";
+
+/// What one completed job contributes to the aggregate.
+struct JobData {
+    workload: usize,
+    ipc: f64,
+    per_bank: Vec<f64>,
+}
+
+/// Render the aggregate report. Fails unless the merged state covers the
+/// full grid (every job done or quarantined) and every `done` manifest
+/// parses.
+pub fn render(spec: &CampaignSpec, dir: &Path, state: &CampaignState) -> Result<Vec<u8>, String> {
+    let jobs = spec.jobs();
+    let covered = state.done.len() + state.quarantined.len();
+    if covered < jobs.len() {
+        return Err(format!(
+            "campaign incomplete: {covered}/{} jobs covered by journals",
+            jobs.len()
+        ));
+    }
+
+    // Group jobs by (threshold, scheme) in spec order.
+    let mut groups: Vec<String> = Vec::new();
+    let mut quarantined_out: Vec<String> = Vec::new();
+    for &threshold_pct in &spec.thresholds {
+        for &scheme in &spec.schemes {
+            let mut done_jobs: Vec<JobData> = Vec::new();
+            let mut missing: Vec<u64> = Vec::new();
+            for job in jobs
+                .iter()
+                .filter(|j| j.threshold_pct == threshold_pct && j.scheme == scheme)
+            {
+                let id = job.id(&spec.name);
+                if let Some((rel, _fnv)) = state.manifest_of(&id) {
+                    let data = read_job_manifest(&dir.join(rel), job.workload)?;
+                    done_jobs.push(data);
+                } else if let Some((_, payload)) = state.quarantine_of(&id) {
+                    missing.push(job.workload as u64);
+                    let mut q = JsonObject::new();
+                    q.field_str("key", &job.key()).field_str("payload", payload);
+                    quarantined_out.push(q.finish());
+                } else {
+                    return Err(format!("job {} ({}) unaccounted for", id, job.key()));
+                }
+            }
+
+            let mut g = JsonObject::new();
+            g.field_f64("threshold_pct", threshold_pct)
+                .field_str("scheme", scheme.name())
+                .field_raw(
+                    "workloads",
+                    &u64_array(
+                        &done_jobs
+                            .iter()
+                            .map(|d| d.workload as u64)
+                            .collect::<Vec<_>>(),
+                    ),
+                )
+                .field_raw("missing_workloads", &u64_array(&missing));
+            if done_jobs.is_empty() {
+                g.field_raw("mean_ipc", "null")
+                    .field_raw("per_workload_ipc", "[]")
+                    .field_raw("raw_min_years", "null")
+                    .field_raw("hmean_lifetime_years", "null")
+                    .field_raw("variation", "null")
+                    .field_raw("hmean_per_bank", "[]");
+            } else {
+                let ipcs: Vec<f64> = done_jobs.iter().map(|d| d.ipc).collect();
+                let per_wl: Vec<Vec<f64>> = done_jobs.iter().map(|d| d.per_bank.clone()).collect();
+                let hmean_bank = hmean_lifetime_per_bank(&per_wl);
+                g.field_f64("mean_ipc", sim_stats::amean(&ipcs))
+                    .field_raw("per_workload_ipc", &f64_array(&ipcs))
+                    .field_f64("raw_min_years", raw_min_lifetime(&per_wl))
+                    .field_f64("hmean_lifetime_years", sim_stats::hmean(&hmean_bank))
+                    .field_f64("variation", lifetime_variation(&hmean_bank))
+                    .field_raw("hmean_per_bank", &f64_array(&hmean_bank));
+            }
+            groups.push(g.finish());
+        }
+    }
+
+    let mut budget = JsonObject::new();
+    budget
+        .field_u64("warmup", spec.budget.warmup)
+        .field_u64("measure", spec.budget.measure);
+    let mut o = JsonObject::new();
+    o.field_str("schema", REPORT_SCHEMA)
+        .field_str("campaign", &spec.name)
+        .field_str("fingerprint", &format!("{:016x}", spec.fingerprint))
+        .field_str("config", &spec.config_desc)
+        .field_raw("budget", &budget.finish())
+        .field_u64("grid", jobs.len() as u64)
+        .field_u64("completed", state.done.len() as u64)
+        .field_raw("quarantined", &raw_array(&quarantined_out))
+        .field_raw("groups", &raw_array(&groups));
+    let mut text = o.finish();
+    text.push('\n');
+    Ok(text.into_bytes())
+}
+
+/// Pull the aggregate inputs back out of one job manifest.
+fn read_job_manifest(path: &Path, expect_workload: usize) -> Result<JobData, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let doc = parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    let bad = |what: &str| format!("{}: missing or malformed {what}", path.display());
+
+    let stats = doc.get("stats").ok_or_else(|| bad("stats"))?;
+    let workload = stats
+        .get("job.workload")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| bad("stats.job.workload"))? as usize;
+    if workload != expect_workload {
+        return Err(format!(
+            "{}: manifest is for workload {workload}, journal says {expect_workload}",
+            path.display()
+        ));
+    }
+    let ipc = stats
+        .get("job.ipc")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| bad("stats.job.ipc"))?;
+    let rows = doc
+        .get("wear_heatmap")
+        .and_then(|h| h.get("rows"))
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| bad("wear_heatmap.rows"))?;
+    let per_bank = rows
+        .first()
+        .and_then(|r| r.get("per_bank"))
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| bad("wear_heatmap.rows[0].per_bank"))?
+        .iter()
+        // `fmt_f64` writes non-finite lifetimes (a bank with zero writes
+        // never wears out) as JSON null; read them back as +inf.
+        .map(|v| v.as_f64().unwrap_or(f64::INFINITY))
+        .collect();
+    Ok(JobData {
+        workload,
+        ipc,
+        per_bank,
+    })
+}
+
+/// Result of [`verify`].
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Jobs whose manifests re-hashed to their journalled FNV.
+    pub manifests_checked: usize,
+    /// Quarantined jobs (listed in the report, not an error).
+    pub quarantined: usize,
+}
+
+/// End-to-end integrity check of a finished campaign:
+///
+/// 1. every journal parses and matches the spec,
+/// 2. the grid is fully covered,
+/// 3. every `done` manifest's bytes still hash to the journalled FNV,
+/// 4. re-aggregating reproduces `report.json` byte-for-byte.
+pub fn verify(spec: &CampaignSpec, dir: &Path) -> Result<VerifyReport, String> {
+    // Check the *raw* journal records, not the filtered state: `load_state`
+    // silently demotes a torn manifest back to pending (correct for resume),
+    // but verify exists to surface exactly that corruption.
+    for journal in journal_files(dir).map_err(|e| format!("scan {}: {e}", dir.display()))? {
+        let records =
+            read_journal(&journal).map_err(|e| format!("read {}: {e}", journal.display()))?;
+        for record in records {
+            let Record::Done {
+                id,
+                manifest,
+                fnv,
+                key,
+            } = record
+            else {
+                continue;
+            };
+            let path = dir.join(&manifest);
+            let bytes = fs::read(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+            if fnv1a64(&bytes) != fnv {
+                return Err(format!(
+                    "manifest {} for job {id} ({key}) does not match its journalled \
+                     fingerprint",
+                    path.display()
+                ));
+            }
+        }
+    }
+    let state = load_state(spec, dir)?;
+    let rendered = render(spec, dir, &state)?;
+    let report_path = dir.join("report.json");
+    let on_disk =
+        fs::read(&report_path).map_err(|e| format!("read {}: {e}", report_path.display()))?;
+    if rendered != on_disk {
+        return Err(format!(
+            "{} does not match re-aggregation ({} vs {} bytes)",
+            report_path.display(),
+            on_disk.len(),
+            rendered.len()
+        ));
+    }
+    Ok(VerifyReport {
+        manifests_checked: state.done.len(),
+        quarantined: state.quarantined.len(),
+    })
+}

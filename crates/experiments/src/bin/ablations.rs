@@ -1,10 +1,10 @@
 //! Run the six ablation studies (DESIGN.md §7).
 use experiments::figures::ablations;
-use experiments::{Budget, StatsSink};
+use experiments::obs;
 
 fn main() {
-    let sink = StatsSink::from_env_args();
-    let budget = Budget::from_env().sweep();
+    let (sink, budget) = obs::standard_args();
+    let budget = budget.sweep();
     let text = ablations::run_all(budget);
     println!("{text}");
     sink.emit_with("ablations", "DESIGN.md §7 ablations", None, budget, |m| {

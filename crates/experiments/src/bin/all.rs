@@ -4,13 +4,12 @@
 //! one Table III row).
 use cmp_sim::SystemConfig;
 use experiments::figures::{criticality, lifetime, predictor_study, sensitivity, table2, table3};
-use experiments::{obs, Budget, StatsSink};
+use experiments::obs;
 use renuca_core::CptConfig;
 use std::time::Instant;
 
 fn main() {
-    let sink = StatsSink::from_env_args();
-    let budget = Budget::from_env();
+    let (sink, budget) = obs::standard_args();
     let t0 = Instant::now();
 
     let rows = table2::run(budget);

@@ -2,13 +2,12 @@
 //! diagnostic): runs a few single-app characterizations and one 16-core
 //! workload, printing measured vs Table II values and wall-clock speed.
 
-use experiments::{run_single_app, run_workload, Budget, StatsSink};
+use experiments::{obs, run_single_app, run_workload};
 use renuca_core::{CptConfig, Scheme};
 use std::time::Instant;
 
 fn main() {
-    let sink = StatsSink::from_env_args();
-    let budget = Budget::from_env();
+    let (sink, budget) = obs::standard_args();
     println!(
         "budget: warmup={} measure={}",
         budget.warmup, budget.measure

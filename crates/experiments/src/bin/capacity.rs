@@ -1,15 +1,12 @@
 //! Capacity-retention curves per scheme (extension of the paper's §III.B).
 use cmp_sim::SystemConfig;
 use experiments::figures::{capacity, lifetime};
-use experiments::{obs, Budget, StatsSink};
+use experiments::obs;
 
 fn main() {
-    let sink = StatsSink::from_env_args();
+    let (sink, budget) = obs::standard_args();
     let cfg = SystemConfig::default();
-    let budget = Budget::from_env();
     let study = lifetime::run("Actual Results", cfg, budget);
     println!("{}", capacity::format_retention(&study, 16.0, 9));
-    sink.emit_with("capacity", study.label, Some(&cfg), budget, |m| {
-        obs::register_study(m, &study)
-    });
+    obs::emit_study_manifest(&sink, "capacity", Some(&cfg), budget, &study);
 }

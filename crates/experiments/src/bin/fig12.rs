@@ -1,16 +1,13 @@
 //! Regenerate Figure 12 (Re-NUCA wear-leveling, all five schemes).
 use cmp_sim::SystemConfig;
 use experiments::figures::lifetime;
-use experiments::{obs, Budget, StatsSink};
+use experiments::obs;
 
 fn main() {
-    let sink = StatsSink::from_env_args();
+    let (sink, budget) = obs::standard_args();
     let cfg = SystemConfig::default();
-    let budget = Budget::from_env();
     let study = lifetime::run("Actual Results", cfg, budget);
     println!("{}", lifetime::format_fig12(&study));
     println!("{}", lifetime::headline(&study));
-    sink.emit_with("fig12", study.label, Some(&cfg), budget, |m| {
-        obs::register_study(m, &study)
-    });
+    obs::emit_study_manifest(&sink, "fig12", Some(&cfg), budget, &study);
 }

@@ -1,14 +1,11 @@
 //! Regenerate Figure 13 (sensitivity study: L2 = 128 KB, wear).
 use experiments::figures::sensitivity::{self, Sensitivity};
-use experiments::{obs, Budget, StatsSink};
+use experiments::obs;
 
 fn main() {
-    let sink = StatsSink::from_env_args();
+    let (sink, budget) = obs::standard_args();
     let which = Sensitivity::L2Small;
-    let budget = Budget::from_env();
     let study = sensitivity::run(which, budget);
     println!("{}", sensitivity::format_wear(which, &study));
-    sink.emit_with("fig13", which.label(), Some(&which.config()), budget, |m| {
-        obs::register_study(m, &study)
-    });
+    obs::emit_study_manifest(&sink, "fig13", Some(&which.config()), budget, &study);
 }

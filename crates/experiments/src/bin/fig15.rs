@@ -1,14 +1,11 @@
 //! Regenerate Figure 15 (sensitivity study: L3 bank = 1 MB, wear).
 use experiments::figures::sensitivity::{self, Sensitivity};
-use experiments::{obs, Budget, StatsSink};
+use experiments::obs;
 
 fn main() {
-    let sink = StatsSink::from_env_args();
+    let (sink, budget) = obs::standard_args();
     let which = Sensitivity::L3Small;
-    let budget = Budget::from_env();
     let study = sensitivity::run(which, budget);
     println!("{}", sensitivity::format_wear(which, &study));
-    sink.emit_with("fig15", which.label(), Some(&which.config()), budget, |m| {
-        obs::register_study(m, &study)
-    });
+    obs::emit_study_manifest(&sink, "fig15", Some(&which.config()), budget, &study);
 }

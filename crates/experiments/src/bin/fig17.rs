@@ -1,14 +1,11 @@
 //! Regenerate Figure 17 (sensitivity study: ROB = 168, wear).
 use experiments::figures::sensitivity::{self, Sensitivity};
-use experiments::{obs, Budget, StatsSink};
+use experiments::obs;
 
 fn main() {
-    let sink = StatsSink::from_env_args();
+    let (sink, budget) = obs::standard_args();
     let which = Sensitivity::RobLarge;
-    let budget = Budget::from_env();
     let study = sensitivity::run(which, budget);
     println!("{}", sensitivity::format_wear(which, &study));
-    sink.emit_with("fig17", which.label(), Some(&which.config()), budget, |m| {
-        obs::register_study(m, &study)
-    });
+    obs::emit_study_manifest(&sink, "fig17", Some(&which.config()), budget, &study);
 }

@@ -1,15 +1,12 @@
 //! Regenerate Figure 3 (motivation: baseline per-bank lifetimes).
 use cmp_sim::SystemConfig;
 use experiments::figures::lifetime;
-use experiments::{obs, Budget, StatsSink};
+use experiments::obs;
 
 fn main() {
-    let sink = StatsSink::from_env_args();
+    let (sink, budget) = obs::standard_args();
     let cfg = SystemConfig::default();
-    let budget = Budget::from_env();
     let study = lifetime::run("Actual Results", cfg, budget);
     println!("{}", lifetime::format_fig3(&study));
-    sink.emit_with("fig3", study.label, Some(&cfg), budget, |m| {
-        obs::register_study(m, &study)
-    });
+    obs::emit_study_manifest(&sink, "fig3", Some(&cfg), budget, &study);
 }

@@ -1,15 +1,12 @@
 //! Regenerate Figure 4b (performance-vs-lifetime trade-off).
 use cmp_sim::SystemConfig;
 use experiments::figures::lifetime;
-use experiments::{obs, Budget, StatsSink};
+use experiments::obs;
 
 fn main() {
-    let sink = StatsSink::from_env_args();
+    let (sink, budget) = obs::standard_args();
     let cfg = SystemConfig::default();
-    let budget = Budget::from_env();
     let study = lifetime::run("Actual Results", cfg, budget);
     println!("{}", lifetime::format_fig4b(&study));
-    sink.emit_with("fig4b", study.label, Some(&cfg), budget, |m| {
-        obs::register_study(m, &study)
-    });
+    obs::emit_study_manifest(&sink, "fig4b", Some(&cfg), budget, &study);
 }

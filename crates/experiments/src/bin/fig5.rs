@@ -1,10 +1,9 @@
 //! Regenerate Figure 5 (non-critical load percentage per application).
 use experiments::figures::criticality;
-use experiments::{obs, Budget, StatsSink};
+use experiments::obs;
 
 fn main() {
-    let sink = StatsSink::from_env_args();
-    let budget = Budget::from_env();
+    let (sink, budget) = obs::standard_args();
     let rows = criticality::run(budget);
     println!("{}", criticality::format_fig5(&rows));
     println!("Average: {:.1}% (paper: >80%)", criticality::average(&rows));

@@ -1,11 +1,10 @@
 //! Regenerate Figure 7 (criticality-predictor characterization).
 use experiments::figures::predictor_study;
-use experiments::{obs, Budget, StatsSink};
+use experiments::obs;
 use renuca_core::CptConfig;
 
 fn main() {
-    let sink = StatsSink::from_env_args();
-    let budget = Budget::from_env();
+    let (sink, budget) = obs::standard_args();
     let study = predictor_study::run(budget, &CptConfig::THRESHOLD_SWEEP);
     println!("{}", predictor_study::format_fig7(&study));
     sink.emit_with("fig7", "predictor threshold sweep", None, budget, |m| {

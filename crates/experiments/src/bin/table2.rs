@@ -1,10 +1,9 @@
 //! Regenerate the paper's Table II (application characteristics).
 use experiments::figures::table2;
-use experiments::{obs, Budget, StatsSink};
+use experiments::obs;
 
 fn main() {
-    let sink = StatsSink::from_env_args();
-    let budget = Budget::from_env();
+    let (sink, budget) = obs::standard_args();
     let rows = table2::run(budget);
     println!("{}", table2::format_table2(&rows));
     sink.emit_with("table2", "app characteristics", None, budget, |m| {

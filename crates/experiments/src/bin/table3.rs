@@ -1,10 +1,9 @@
 //! Regenerate Table III (raw minimum lifetimes, 4 configs x 5 schemes).
 use experiments::figures::table3;
-use experiments::{obs, Budget, StatsSink};
+use experiments::obs;
 
 fn main() {
-    let sink = StatsSink::from_env_args();
-    let budget = Budget::from_env();
+    let (sink, budget) = obs::standard_args();
     let t3 = table3::run(budget);
     println!("{}", table3::format_table3(&t3));
     sink.emit_with("table3", "raw minimum lifetimes", None, budget, |m| {

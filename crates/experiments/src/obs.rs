@@ -42,6 +42,49 @@ pub const MANIFEST_KEYS: [&str; 8] = [
     "wear_heatmap",
 ];
 
+/// Write `contents` to `path` atomically: the bytes go to a temporary
+/// sibling file first (same directory, so the rename cannot cross a
+/// filesystem), are fsync'd, and the temp file is renamed over `path`.
+/// A reader — in particular the campaign resume path, which *trusts*
+/// completed-job manifests — can therefore never observe a torn or
+/// half-written document: it sees either the old file or the new one.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    fs::create_dir_all(&dir)?;
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("manifest");
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        use std::io::Write as _;
+        f.write_all(contents)?;
+        // Durability, not just atomicity: flush the bytes before the
+        // rename publishes the file, so a crash right after the rename
+        // cannot leave a published-but-empty manifest.
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Shared startup for every experiment binary: resolve the manifest
+/// destination (`--stats <path>` / `--stats=<path>` / `RENUCA_STATS`) and
+/// the instruction budget (`RENUCA_WARMUP` / `RENUCA_MEASURE`) in one
+/// call. The campaign runner resolves the same pair per job — with
+/// [`StatsSink::to`] instead of the command line — so every job manifest
+/// goes through exactly this machinery.
+pub fn standard_args() -> (StatsSink, Budget) {
+    (StatsSink::from_env_args(), Budget::from_env())
+}
+
 /// Where (if anywhere) a binary should write its run manifest.
 ///
 /// Resolved once at startup from the command line and environment by
@@ -124,15 +167,9 @@ impl StatsSink {
         let Some(path) = &self.path else { return };
         let mut m = Manifest::new(binary, label, cfg, budget);
         build(&mut m);
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                if let Err(e) = fs::create_dir_all(dir) {
-                    eprintln!("error: cannot create {}: {e}", dir.display());
-                    std::process::exit(1);
-                }
-            }
-        }
-        if let Err(e) = fs::write(path, m.to_json()) {
+        // Atomic (temp + rename): a crash mid-write can never leave a torn
+        // manifest for a later resume or verify step to trust.
+        if let Err(e) = atomic_write(path, m.to_json().as_bytes()) {
             eprintln!("error: cannot write {}: {e}", path.display());
             std::process::exit(1);
         }
@@ -262,6 +299,25 @@ pub fn register_study(m: &mut Manifest, study: &MainStudy) {
         let name = s.scheme.name().to_string();
         m.push_wear_row(&name, &s.hmean_per_bank);
     }
+}
+
+/// The whole manifest path of a study-family binary in one call: build a
+/// manifest for `binary` labelled with the study's own label, echo `cfg`,
+/// register every scheme's metrics and the per-scheme wear heatmap, and
+/// write it through `sink` (a no-op when no destination is configured).
+/// Shared by fig3/fig4b/fig11/fig12, the six sensitivity binaries and
+/// `capacity`; the campaign job runner uses the same sink machinery with
+/// [`StatsSink::to`].
+pub fn emit_study_manifest(
+    sink: &StatsSink,
+    binary: &str,
+    cfg: Option<&SystemConfig>,
+    budget: Budget,
+    study: &MainStudy,
+) {
+    sink.emit_with(binary, study.label, cfg, budget, |m| {
+        register_study(m, study)
+    });
 }
 
 /// Fill a manifest from several [`MainStudy`]s under different

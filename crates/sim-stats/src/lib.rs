@@ -3,9 +3,10 @@
 //! This crate is deliberately free of any simulator-specific concepts: it
 //! provides the counters, histograms, summary mathematics (arithmetic,
 //! harmonic and geometric means, min/max, coefficient of variation), a
-//! hand-rolled stable-key-order JSON emitter, a fixed-capacity typed event
-//! trace ([`trace`]), and the plain-text table/bar-chart rendering that the
-//! experiment harness uses to print paper-style figures and tables.
+//! hand-rolled stable-key-order JSON emitter and matching parser, a
+//! fixed-capacity typed event trace ([`trace`]), and the plain-text
+//! table/bar-chart rendering that the experiment harness uses to print
+//! paper-style figures and tables.
 //!
 //! Everything here is `#![forbid(unsafe_code)]` and allocation-conscious:
 //! counters are plain integers, histograms use fixed log2 bucketing, and the
@@ -24,7 +25,7 @@ pub mod trace;
 
 pub use counter::{Counter, RateCounter};
 pub use histogram::Histogram;
-pub use json::JsonObject;
+pub use json::{JsonObject, JsonValue};
 pub use registry::{StatValue, StatsRegistry};
 pub use render::{bar_chart, grouped_series, Table};
 pub use summary::{

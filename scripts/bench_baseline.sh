@@ -1,26 +1,32 @@
 #!/usr/bin/env bash
-# Produce a committed benchmark baseline (BENCH_<n>.json) from the micro
-# benches. Usage:
+# Produce a committed benchmark baseline (BENCH_<n>.json) from an in-tree
+# bench target. Usage:
 #
-#   scripts/bench_baseline.sh [OUT.json]
+#   scripts/bench_baseline.sh [OUT.json] [BENCH_TARGET]
 #
-# Defaults to BENCH_2.json in the repo root with 50 samples per bench
-# (override with RENUCA_BENCH_SAMPLES). See EXPERIMENTS.md "Benchmark
-# baselines" for the schema and the comparison procedure.
+# Defaults to BENCH_2.json from the `micro` target with 50 samples per
+# bench (override with RENUCA_BENCH_SAMPLES). The campaign scheduler
+# baseline is
+#
+#   scripts/bench_baseline.sh BENCH_CAMPAIGN_1.json campaign_overhead
+#
+# See EXPERIMENTS.md "Benchmark baselines" for the schema and the
+# comparison procedure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_2.json}"
+TARGET="${2:-micro}"
 SAMPLES="${RENUCA_BENCH_SAMPLES:-50}"
 
 # The harness prints one JSON object per bench on stdout; keep those lines
 # and drop the human-readable header.
-RAW="$(RENUCA_BENCH_SAMPLES="$SAMPLES" cargo bench -p bench --bench micro 2>/dev/null \
+RAW="$(RENUCA_BENCH_SAMPLES="$SAMPLES" cargo bench -p bench --bench "$TARGET" 2>/dev/null \
     | grep '^{"bench"')"
 
 {
     printf '{"schema":"renuca-bench-v1",'
-    printf '"source":"cargo bench -p bench --bench micro",'
+    printf '"source":"cargo bench -p bench --bench %s",' "$TARGET"
     printf '"samples":%s,"results":[' "$SAMPLES"
     printf '%s\n' "$RAW" | awk 'NR>1{printf ","} {printf "%s", $0}'
     printf ']}\n'

@@ -43,6 +43,41 @@ if ! grep -qE '^\{"schema":"renuca-manifest-v1","binary":"fig3","label":"[^"]+",
 fi
 echo "manifest smoke OK ($(wc -c < "$MANIFEST") bytes)"
 
+echo "== campaign smoke: run, crash, resume, verify, byte-compare =="
+CAMP_TMP="$(mktemp -d)"
+trap 'rm -f "$MANIFEST"; rm -rf "$CAMP_TMP"' EXIT
+cat >"$CAMP_TMP/smoke.campaign" <<'EOF'
+renuca-campaign-v1
+name cismoke
+config small 4
+budget warmup=50 measure=300
+schemes S-NUCA Re-NUCA
+workloads 1 2
+thresholds 25
+EOF
+# Interrupt after 2 of 4 jobs: the scheduler must stop without a report
+# and exit 3 (the "campaign left resumable" code). Single-threaded so the
+# stop lands deterministically between jobs.
+CAMP_RC=0
+./target/release/campaign run "$CAMP_TMP/smoke.campaign" \
+    --out "$CAMP_TMP/a" --threads 1 --max-jobs 2 >/dev/null 2>&1 || CAMP_RC=$?
+if [ "$CAMP_RC" -ne 3 ] || [ -e "$CAMP_TMP/a/report.json" ]; then
+    echo "campaign smoke FAILED: interrupted run rc=$CAMP_RC (want 3, no report)"
+    exit 1
+fi
+./target/release/campaign resume "$CAMP_TMP/smoke.campaign" \
+    --out "$CAMP_TMP/a" --threads 2 >/dev/null 2>&1
+./target/release/campaign verify "$CAMP_TMP/smoke.campaign" \
+    --out "$CAMP_TMP/a" >/dev/null 2>&1
+# An uninterrupted run of the same spec must aggregate byte-identically.
+./target/release/campaign run "$CAMP_TMP/smoke.campaign" \
+    --out "$CAMP_TMP/b" --threads 2 >/dev/null 2>&1
+if ! cmp -s "$CAMP_TMP/a/report.json" "$CAMP_TMP/b/report.json"; then
+    echo "campaign smoke FAILED: resumed report differs from uninterrupted run"
+    exit 1
+fi
+echo "campaign smoke OK ($(wc -c < "$CAMP_TMP/a/report.json") byte report)"
+
 echo "== bench targets compile =="
 cargo build --benches --release --workspace
 
@@ -59,6 +94,20 @@ if [ "$BENCH_N" -lt 10 ] || [ "$BENCH_BAD" -ne 0 ]; then
     exit 1
 fi
 echo "bench smoke OK ($BENCH_N benches)"
+
+echo "== bench smoke: campaign scheduler overhead =="
+CAMPB_OUT="$(RENUCA_BENCH_SAMPLES=2 cargo bench -p bench --bench campaign_overhead 2>/dev/null \
+    | grep '^{"bench"')"
+CAMPB_N="$(printf '%s\n' "$CAMPB_OUT" | wc -l)"
+CAMPB_BAD="$(printf '%s\n' "$CAMPB_OUT" | grep -cvE \
+    '^\{"bench":"campaign/[^"]+","kind":"micro","samples":[0-9]+,"iters_per_sample":[0-9]+,"min_ns":[0-9.eE+-]+,"mean_ns":[0-9.eE+-]+,"median_ns":[0-9.eE+-]+,"p95_ns":[0-9.eE+-]+\}$' \
+    || true)"
+if [ "$CAMPB_N" -lt 4 ] || [ "$CAMPB_BAD" -ne 0 ]; then
+    echo "campaign bench smoke FAILED: $CAMPB_N lines, $CAMPB_BAD malformed"
+    printf '%s\n' "$CAMPB_OUT"
+    exit 1
+fi
+echo "campaign bench smoke OK ($CAMPB_N benches)"
 
 echo "== formatting =="
 cargo fmt --check
