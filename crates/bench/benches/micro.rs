@@ -222,6 +222,25 @@ fn bench_full_system() {
         },
     )
     .report();
+    // Paper-scale macro point: 10× the instruction budget, tracking how
+    // throughput holds up once warm structures dominate (TLBs, route
+    // cache, CPT are all past their cold phase for most of the run).
+    bench_with_setup(
+        "system/16core_renuca_100k_instr",
+        || {
+            let cfg = SystemConfig::default();
+            let wl = workload_mix(1, cfg.n_cores);
+            let scheme = Scheme::ReNuca;
+            let preds: Vec<Box<dyn CriticalityPredictor>> =
+                scheme.build_predictors(&cfg, CptConfig::default());
+            System::new(cfg, scheme.build_policy(&cfg), wl.build_sources(), preds)
+        },
+        |mut sys| {
+            sys.run(100_000);
+            black_box(sys.now())
+        },
+    )
+    .report();
 }
 
 fn main() {

@@ -86,16 +86,18 @@ impl CacheStats {
     }
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Way {
-    line: u64,
-    valid: bool,
-    dirty: bool,
-    /// LRU stamp: global monotonic access counter value at last touch.
-    stamp: u64,
-}
+/// Per-line state flag: line holds valid data.
+const F_VALID: u8 = 1 << 0;
+/// Per-line state flag: line holds modified data (needs writeback).
+const F_DIRTY: u8 = 1 << 1;
 
 /// A set-associative, write-back, write-allocate cache array.
+///
+/// Per-line metadata is stored structure-of-arrays: parallel `tags` /
+/// `flags` / `stamps` vectors indexed by `set * assoc + way`. A lookup
+/// only touches the tag lane (8 contiguous bytes per way), so a whole
+/// set's tags share a cache line and the common probe/access path never
+/// loads the LRU stamps or dirty bits it does not need.
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     sets: usize,
@@ -109,7 +111,13 @@ pub struct SetAssocCache {
     /// *physical slot* reported for wear accounting; lookup semantics are
     /// unchanged (tags are logical).
     set_shift: usize,
-    ways: Vec<Way>,
+    /// Line address per way (valid only where `F_VALID` is set).
+    tags: Vec<u64>,
+    /// Valid/dirty flag byte per way.
+    flags: Vec<u8>,
+    /// LRU stamp per way: global monotonic access counter value at last
+    /// touch.
+    stamps: Vec<u64>,
     clock: u64,
     /// Event counters.
     pub stats: CacheStats,
@@ -121,13 +129,16 @@ impl SetAssocCache {
     /// the bank under S-NUCA and must not starve sets).
     pub fn new(geo: CacheGeometry, hash_index: bool) -> Self {
         let sets = geo.sets();
+        let slots = sets * geo.assoc;
         SetAssocCache {
             sets,
             assoc: geo.assoc,
             set_mask: sets as u64 - 1,
             hash_index,
             set_shift: 0,
-            ways: vec![Way::default(); sets * geo.assoc],
+            tags: vec![0; slots],
+            flags: vec![0; slots],
+            stamps: vec![0; slots],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -167,14 +178,13 @@ impl SetAssocCache {
     pub fn rotate_set_mapping(&mut self) -> Vec<Eviction> {
         self.set_shift = (self.set_shift + 1) & self.set_mask as usize;
         let mut flushed = Vec::new();
-        for way in &mut self.ways {
-            if way.valid {
+        for slot in 0..self.flags.len() {
+            if self.flags[slot] & F_VALID != 0 {
                 flushed.push(Eviction {
-                    line: way.line,
-                    dirty: way.dirty,
+                    line: self.tags[slot],
+                    dirty: self.flags[slot] & F_DIRTY != 0,
                 });
-                way.valid = false;
-                way.dirty = false;
+                self.flags[slot] = 0;
             }
         }
         flushed
@@ -193,21 +203,24 @@ impl SetAssocCache {
         (idx & self.set_mask) as usize
     }
 
+    /// The way holding `line` within `set`, if valid and present. The tag
+    /// scan touches only the contiguous tag lane.
     #[inline]
-    fn way_slice(&self, set: usize) -> &[Way] {
-        &self.ways[set * self.assoc..(set + 1) * self.assoc]
+    fn find(&self, set: usize, line: u64) -> Option<usize> {
+        let base = set * self.assoc;
+        let tags = &self.tags[base..base + self.assoc];
+        let flags = &self.flags[base..base + self.assoc];
+        (0..self.assoc).find(|&w| flags[w] & F_VALID != 0 && tags[w] == line)
     }
 
     /// Look up a line *without* updating replacement state or statistics
     /// (for assertions and invariant checks).
     pub fn probe(&self, line: u64) -> LookupResult {
         let set = self.set_of(line);
-        for (w, way) in self.way_slice(set).iter().enumerate() {
-            if way.valid && way.line == line {
-                return LookupResult::Hit { set, way: w };
-            }
+        match self.find(set, line) {
+            Some(way) => LookupResult::Hit { set, way },
+            None => LookupResult::Miss,
         }
-        LookupResult::Miss
     }
 
     /// Look up a line, updating LRU and hit/miss statistics. If `is_write`,
@@ -215,17 +228,14 @@ impl SetAssocCache {
     pub fn access(&mut self, line: u64, is_write: bool) -> LookupResult {
         self.clock += 1;
         let set = self.set_of(line);
-        let base = set * self.assoc;
-        for w in 0..self.assoc {
-            let way = &mut self.ways[base + w];
-            if way.valid && way.line == line {
-                way.stamp = self.clock;
-                if is_write {
-                    way.dirty = true;
-                }
-                self.stats.hits.inc();
-                return LookupResult::Hit { set, way: w };
+        if let Some(w) = self.find(set, line) {
+            let slot = set * self.assoc + w;
+            self.stamps[slot] = self.clock;
+            if is_write {
+                self.flags[slot] |= F_DIRTY;
             }
+            self.stats.hits.inc();
+            return LookupResult::Hit { set, way: w };
         }
         self.stats.misses.inc();
         LookupResult::Miss
@@ -246,36 +256,32 @@ impl SetAssocCache {
         let mut victim = 0;
         let mut victim_stamp = u64::MAX;
         for w in 0..self.assoc {
-            let way = &self.ways[base + w];
-            if !way.valid {
+            let slot = base + w;
+            if self.flags[slot] & F_VALID == 0 {
                 victim = w;
                 break;
             }
-            if way.stamp < victim_stamp {
-                victim_stamp = way.stamp;
+            if self.stamps[slot] < victim_stamp {
+                victim_stamp = self.stamps[slot];
                 victim = w;
             }
         }
-        let evicted = {
-            let v = &self.ways[base + victim];
-            if v.valid {
-                if v.dirty {
-                    self.stats.dirty_evictions.inc();
-                }
-                Some(Eviction {
-                    line: v.line,
-                    dirty: v.dirty,
-                })
-            } else {
-                None
+        let vslot = base + victim;
+        let evicted = if self.flags[vslot] & F_VALID != 0 {
+            let was_dirty = self.flags[vslot] & F_DIRTY != 0;
+            if was_dirty {
+                self.stats.dirty_evictions.inc();
             }
+            Some(Eviction {
+                line: self.tags[vslot],
+                dirty: was_dirty,
+            })
+        } else {
+            None
         };
-        self.ways[base + victim] = Way {
-            line,
-            valid: true,
-            dirty,
-            stamp: self.clock,
-        };
+        self.tags[vslot] = line;
+        self.flags[vslot] = if dirty { F_VALID | F_DIRTY } else { F_VALID };
+        self.stamps[vslot] = self.clock;
         self.stats.fills.inc();
         FillOutcome {
             set,
@@ -289,15 +295,11 @@ impl SetAssocCache {
     /// is the back-invalidation path).
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
         let set = self.set_of(line);
-        let base = set * self.assoc;
-        for w in 0..self.assoc {
-            let way = &mut self.ways[base + w];
-            if way.valid && way.line == line {
-                way.valid = false;
-                let was_dirty = way.dirty;
-                way.dirty = false;
-                return Some(was_dirty);
-            }
+        if let Some(w) = self.find(set, line) {
+            let slot = set * self.assoc + w;
+            let was_dirty = self.flags[slot] & F_DIRTY != 0;
+            self.flags[slot] = 0;
+            return Some(was_dirty);
         }
         None
     }
@@ -311,21 +313,18 @@ impl SetAssocCache {
     /// Returns false if the line is absent.
     pub fn mark_dirty(&mut self, line: u64) -> bool {
         let set = self.set_of(line);
-        let base = set * self.assoc;
-        for w in 0..self.assoc {
-            let way = &mut self.ways[base + w];
-            if way.valid && way.line == line {
-                way.dirty = true;
-                way.stamp = self.clock; // a writeback is a use
-                return true;
-            }
+        if let Some(w) = self.find(set, line) {
+            let slot = set * self.assoc + w;
+            self.flags[slot] |= F_DIRTY;
+            self.stamps[slot] = self.clock; // a writeback is a use
+            return true;
         }
         false
     }
 
     /// Number of valid lines currently resident (O(capacity); test helper).
     pub fn occupancy(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.flags.iter().filter(|&&f| f & F_VALID != 0).count()
     }
 
     /// Reset statistics (warm-up boundary) without touching contents.

@@ -166,6 +166,9 @@ pub struct CoreModel {
     budget: u64,
     /// An instruction fetched but not yet dispatched (MSHR stall).
     pending: Option<Instr>,
+    /// Single-cycle ALU instructions already drawn from the source (via
+    /// [`InstrSource::next_alu_run`]) and awaiting dispatch.
+    alu_run: u32,
     /// Cycle the core finished its budget (ROB drained), if it has.
     finished_at: Option<Cycle>,
     /// Execution statistics.
@@ -186,6 +189,7 @@ impl CoreModel {
             dtlb: Tlb::new(cfg.tlb_entries, cfg.tlb_assoc, cfg.page_walk_latency),
             budget: 0,
             pending: None,
+            alu_run: 0,
             finished_at: None,
             stats: CoreStats::default(),
         }
@@ -325,13 +329,52 @@ impl CoreModel {
         // Free completed MSHRs.
         self.mshrs.retain(|m| m.complete_at > now);
 
+        /// Longest ALU run requested from the source in one call. Runs are
+        /// drawn eagerly but dispatched under the same width/ROB/budget
+        /// limits as unbatched instructions, so the bound only caps how far
+        /// ahead of dispatch the source stream is materialized.
+        const ALU_RUN_MAX: u32 = 1024;
+
         for _ in 0..self.fetch_width {
             if self.rob.is_full() || self.budget_done() {
                 return false;
             }
+            // Fast path: single-cycle ALU instructions from a batched run
+            // dispatch without a source call or `Instr` round-trip. The
+            // ROB entry is identical to the `Instr::Alu { latency: 1 }`
+            // arm below.
+            if self.alu_run > 0 {
+                self.alu_run -= 1;
+                self.rob.push(RobEntry {
+                    complete_at: now + 1,
+                    pc: 0,
+                    is_load: false,
+                    blocked_head: false,
+                    predicted_critical: false,
+                });
+                self.stats.dispatched.inc();
+                continue;
+            }
             let instr = match self.pending.take() {
                 Some(i) => i,
-                None => src.next_instr(),
+                None => {
+                    let run = src.next_alu_run(ALU_RUN_MAX);
+                    if run > 0 {
+                        // First instruction of the run fills this slot; the
+                        // rest wait in `alu_run` for later slots/cycles.
+                        self.alu_run = run - 1;
+                        self.rob.push(RobEntry {
+                            complete_at: now + 1,
+                            pc: 0,
+                            is_load: false,
+                            blocked_head: false,
+                            predicted_critical: false,
+                        });
+                        self.stats.dispatched.inc();
+                        continue;
+                    }
+                    src.next_instr()
+                }
             };
             match instr {
                 Instr::Alu { latency } => {
@@ -379,9 +422,9 @@ impl CoreModel {
                         continue;
                     }
                     // A new L1 miss needs an MSHR; stall dispatch if the
-                    // file is full (bounded memory-level parallelism).
-                    let l1_hit = mem.l1_contains(self.id, line);
-                    if !l1_hit && self.mshrs.len() >= self.mshr_cap {
+                    // file is full (bounded memory-level parallelism). The
+                    // L1 probe is pure, so it only runs in the full case.
+                    if self.mshrs.len() >= self.mshr_cap && !mem.l1_contains(self.id, line) {
                         self.pending = Some(instr);
                         self.stats.mshr_stall_cycles.inc();
                         return true;

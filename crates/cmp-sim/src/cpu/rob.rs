@@ -83,7 +83,12 @@ impl Rob {
     /// Panics when full — the core model must check `is_full` first.
     pub fn push(&mut self, entry: RobEntry) {
         assert!(!self.is_full(), "ROB overflow");
-        let tail = (self.head + self.len) % self.entries.len();
+        // head + len wraps at most once past capacity, so a compare beats
+        // the hardware divide a runtime `%` would cost on every dispatch.
+        let mut tail = self.head + self.len;
+        if tail >= self.entries.len() {
+            tail -= self.entries.len();
+        }
         self.entries[tail] = entry;
         self.len += 1;
     }
@@ -105,7 +110,10 @@ impl Rob {
     pub fn pop_head(&mut self) -> RobEntry {
         assert!(self.len > 0, "ROB underflow");
         let e = self.entries[self.head];
-        self.head = (self.head + 1) % self.entries.len();
+        self.head += 1;
+        if self.head == self.entries.len() {
+            self.head = 0;
+        }
         self.len -= 1;
         e
     }

@@ -85,6 +85,9 @@ pub struct Dram {
     max_now: Cycle,
     /// Horizon of the last GC sweep (amortization).
     last_gc: Cycle,
+    /// Monotone time floor (see [`Dram::set_floor`]): reservations ending
+    /// at or before it are dropped inline by [`reserve`].
+    floor: Cycle,
     /// Line-address bit layout derived from the config.
     col_bits: u32,
     bank_bits: u32,
@@ -113,6 +116,7 @@ impl Dram {
             bus: vec![Calendar::new(); cfg.channels],
             max_now: 0,
             last_gc: 0,
+            floor: 0,
             col_bits: lines_per_row.trailing_zeros(),
             bank_bits: banks_per_channel.trailing_zeros(),
             chan_mask: cfg.channels as u64 - 1,
@@ -124,6 +128,15 @@ impl Dram {
     /// The configuration in use.
     pub fn config(&self) -> &DramConfig {
         &self.cfg
+    }
+
+    /// Promise that no future [`Dram::access`] will arrive before `now`.
+    /// Bank and bus calendars drop reservations ending at or before the
+    /// floor inline, keeping them down to the live in-flight set. Callers
+    /// that cannot make the promise simply never call this; the
+    /// slack-horizon GC in `access` still bounds calendar growth.
+    pub fn set_floor(&mut self, now: Cycle) {
+        self.floor = self.floor.max(now);
     }
 
     /// Address decomposition: `line = [row | bank | column | channel]`.
@@ -194,10 +207,15 @@ impl Dram {
         } else {
             array_latency + self.cfg.t_burst
         };
-        let start = reserve(&mut bank.busy, now, bank_hold);
+        let start = reserve(&mut bank.busy, now, bank_hold, self.floor);
         let data_ready = start + array_latency;
         // The 64B transfer needs the channel's data bus.
-        let xfer_start = reserve(&mut self.bus[c.channel], data_ready, self.cfg.t_burst);
+        let xfer_start = reserve(
+            &mut self.bus[c.channel],
+            data_ready,
+            self.cfg.t_burst,
+            self.floor,
+        );
         let done = xfer_start + self.cfg.t_burst;
         self.stats.queue_cycles.add(start - now);
         if is_write {
@@ -218,6 +236,7 @@ impl Dram {
         self.bus.iter_mut().for_each(|b| b.clear());
         self.max_now = 0;
         self.last_gc = 0;
+        self.floor = 0;
     }
 }
 

@@ -284,6 +284,16 @@ impl MemoryHierarchy {
         self.l1[core].contains(line)
     }
 
+    /// Promise that no future access will be dispatched before `now`
+    /// (see [`crate::reserve::reserve`]). The event-driven run loop calls
+    /// this on every time advance so mesh-link and DRAM calendars shed
+    /// dead history inline instead of scanning past it on every
+    /// reservation. Monotone and idempotent; resets with the stats.
+    pub fn set_time_floor(&mut self, now: Cycle) {
+        self.mesh.set_floor(now);
+        self.dram.set_floor(now);
+    }
+
     /// L3 occupancy across all banks (test/diagnostic helper).
     pub fn l3_occupancy(&self) -> usize {
         self.l3.iter().map(|b| b.occupancy()).sum()

@@ -53,6 +53,21 @@ pub trait InstrSource {
     /// Produce the next dynamic instruction.
     fn next_instr(&mut self) -> Instr;
 
+    /// Consume a run of up to `max` consecutive single-cycle ALU
+    /// instructions in one call, returning the run length (possibly 0).
+    ///
+    /// This is the batched fast path for the dominant instruction class:
+    /// the core dispatches the `n` returned instructions as `Alu
+    /// { latency: 1 }` without a per-instruction virtual call. The stream
+    /// is unchanged — the source must buffer the first non-run instruction
+    /// it drew past the run's end and return it from the next
+    /// [`next_instr`](Self::next_instr) call. The default implementation
+    /// returns 0 (no batching), which is always correct.
+    fn next_alu_run(&mut self, max: u32) -> u32 {
+        let _ = max;
+        0
+    }
+
     /// Short label for reports ("mcf", "streamL", …).
     fn label(&self) -> &str {
         "anonymous"

@@ -24,6 +24,8 @@
 //! * [`cpu`] — a trace-driven out-of-order core: ROB with in-order commit,
 //!   head-of-ROB stall detection (the signal the criticality predictor
 //!   consumes), MSHR-limited memory-level parallelism,
+//! * [`event`] — the hierarchical timing wheel that drives the
+//!   event-driven system loop,
 //! * [`hierarchy`] — the glue: L1 → L2 → NUCA L3 → DRAM access paths with a
 //!   pluggable L3 placement policy,
 //! * [`system`] — the full 16-core simulation loop and results.
@@ -42,6 +44,7 @@ pub mod coherence;
 pub mod config;
 pub mod cpu;
 pub mod dram;
+pub mod event;
 pub mod hierarchy;
 pub mod instr;
 pub mod noc;

@@ -81,6 +81,10 @@ pub struct Mesh {
     max_now: Cycle,
     /// Horizon of the last GC sweep (amortization).
     last_gc: Cycle,
+    /// Monotone lower bound on all future `traverse` times (simulation
+    /// time, fed by [`Mesh::set_floor`]); lets `reserve` drop dead
+    /// intervals inline instead of waiting for the slack-horizon GC.
+    floor: Cycle,
     /// Traffic counters.
     pub stats: NocStats,
 }
@@ -101,9 +105,17 @@ impl Mesh {
             links: vec![Calendar::new(); cfg.cols * cfg.rows * 4],
             max_now: 0,
             last_gc: 0,
+            floor: 0,
             cfg,
             stats: NocStats::default(),
         }
+    }
+
+    /// Promise that no future [`Mesh::traverse`] will start before `now`.
+    /// The event-driven system loop calls this as simulation time advances;
+    /// reservations ending at or before the floor are reclaimed inline.
+    pub fn set_floor(&mut self, now: Cycle) {
+        self.floor = self.floor.max(now);
     }
 
     /// The configuration in use.
@@ -173,7 +185,7 @@ impl Mesh {
                 Dir::North
             };
             let link = self.link_index(self.node_of(cur), dir);
-            let depart = reserve(&mut self.links[link], t, hold);
+            let depart = reserve(&mut self.links[link], t, hold, self.floor);
             self.stats.contention_cycles.add(depart - t);
             t = depart + self.cfg.hop_cycles;
             cur = match dir {
@@ -213,6 +225,7 @@ impl Mesh {
         self.links.iter_mut().for_each(|l| l.clear());
         self.max_now = 0;
         self.last_gc = 0;
+        self.floor = 0;
     }
 }
 

@@ -213,47 +213,69 @@ impl System {
     /// Run every core for `instr_per_core` further instructions; returns
     /// when the last core drains.
     ///
+    /// Event-driven: cores register their next wake cycle in an
+    /// [`EventWheel`](crate::event::EventWheel) and only the cores due at
+    /// the popped cycle are stepped. Cores due at the same cycle step in
+    /// ascending core-id order — the same deterministic order the
+    /// poll-everything loop used, so the two advance schemes execute
+    /// identically.
+    ///
     /// # Panics
-    /// Panics if the system livelocks (a substrate bug), after a generous
-    /// cycle bound of `10_000 × instr_per_core + 1_000_000`.
+    /// Panics if time fails to advance between event batches (a
+    /// non-advancing event queue means a substrate bug; this is checked
+    /// in release builds too), or if the system livelocks, after a
+    /// generous cycle bound of `10_000 × instr_per_core + 1_000_000`.
     pub fn run(&mut self, instr_per_core: u64) {
         let bound = self
             .now
             .saturating_add(10_000u64.saturating_mul(instr_per_core) + 1_000_000);
-        let n = self.cores.len();
-        let mut next_active: Vec<Cycle> = vec![self.now; n];
         for c in &mut self.cores {
             c.add_budget(instr_per_core);
         }
-        loop {
-            let mut all_done = true;
-            let mut soonest = Cycle::MAX;
-            for i in 0..n {
-                if next_active[i] <= self.now {
-                    let nxt = self.cores[i].step(
-                        self.now,
-                        self.sources[i].as_mut(),
-                        self.predictors[i].as_mut(),
-                        &mut self.mem,
-                    );
-                    next_active[i] = nxt;
-                }
-                if !self.cores[i].is_done() {
-                    all_done = false;
-                    soonest = soonest.min(next_active[i]);
-                }
-            }
-            if all_done {
-                break;
-            }
-            // Advance to the earliest cycle anything can happen (usually
-            // now+1; a long jump when every core is stalled on memory).
-            debug_assert!(soonest > self.now, "time must advance");
-            self.now = soonest;
+        let mut wheel = crate::event::EventWheel::new(self.now);
+        for i in 0..self.cores.len() {
+            wheel.schedule(self.now, i as u32);
+        }
+        let mut due: Vec<u32> = Vec::with_capacity(self.cores.len());
+        let mut first = true;
+        while let Some(cycle) = wheel.pop_due(&mut due) {
+            // Time must advance: the first batch fires at the current
+            // cycle, every later one strictly after it. A wheel handing
+            // back the past (or the present, twice) would silently corrupt
+            // timing, so this stays on in release builds.
+            assert!(
+                if first {
+                    cycle >= self.now
+                } else {
+                    cycle > self.now
+                },
+                "event time must advance: wheel popped cycle {cycle} at now={}",
+                self.now
+            );
+            first = false;
+            self.now = cycle;
             assert!(
                 self.now < bound,
                 "simulation exceeded {bound} cycles for {instr_per_core} instructions/core — livelock?"
             );
+            // Every resource reservation a step makes starts at or after the
+            // dispatch cycle, and `now` is monotone — so the hierarchy's
+            // busy calendars can drop everything ending before this point.
+            self.mem.set_time_floor(self.now);
+            for &i in &due {
+                let i = i as usize;
+                let nxt = self.cores[i].step(
+                    self.now,
+                    self.sources[i].as_mut(),
+                    self.predictors[i].as_mut(),
+                    &mut self.mem,
+                );
+                if nxt != Cycle::MAX {
+                    assert!(nxt > self.now, "core {i} scheduled a non-future wake {nxt}");
+                    wheel.schedule(nxt, i as u32);
+                }
+            }
+            due.clear();
         }
     }
 

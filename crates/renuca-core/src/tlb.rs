@@ -106,21 +106,35 @@ impl EnhancedTlb {
         self.backing.len()
     }
 
-    /// Ensure `page` is TLB-resident and return its MBV.
-    fn fault_in(&mut self, page: u64) -> u64 {
+    /// Ensure `page` is TLB-resident and return its MBV together with the
+    /// page (if any) the TLB evicted to make room.
+    ///
+    /// The evicted-page report exists for the resolved-route cache in
+    /// [`ReNuca`](crate::mapping::ReNuca): route entries are only valid for
+    /// TLB-resident pages, so every residency loss must be visible to the
+    /// caller. All TLB refills go through this method — `set_mbv_bit` only
+    /// mutates payloads in place and never changes residency.
+    pub fn fault_in_reported(&mut self, page: u64) -> (u64, Option<u64>) {
         if let Some(&mbv) = self.tlb.payload(page) {
             // Touch for LRU.
             self.tlb.access(page, |_| unreachable!("resident"));
-            return mbv;
+            return (mbv, None);
         }
         let refill = self.backing.remove(page).unwrap_or(0);
         let acc = self.tlb.access(page, |_| refill);
+        let mut evicted = None;
         if let Some((evicted_page, mbv)) = acc.evicted {
             if mbv != 0 {
                 self.backing.insert(evicted_page, mbv);
             }
+            evicted = Some(evicted_page);
         }
-        refill
+        (refill, evicted)
+    }
+
+    /// Ensure `page` is TLB-resident and return its MBV.
+    fn fault_in(&mut self, page: u64) -> u64 {
+        self.fault_in_reported(page).0
     }
 }
 
@@ -200,6 +214,19 @@ mod tests {
         t.set_mbv_bit(9, 4, true); // non-resident -> backing
         t.set_mbv_bit(9, 4, false);
         assert_eq!(t.backing_len(), 0);
+    }
+
+    #[test]
+    fn fault_in_reports_evicted_page() {
+        // 2-entry direct-mapped TLB: pages 0 and 2 conflict.
+        let mut t = EnhancedTlb::new(2, 1);
+        assert_eq!(t.fault_in_reported(0), (0, None));
+        t.set_mbv_bit(0, 5, true);
+        assert_eq!(t.fault_in_reported(2), (0, Some(0)));
+        // Faulting page 0 back evicts page 2 and restores the stored MBV.
+        assert_eq!(t.fault_in_reported(0), (1 << 5, Some(2)));
+        // A hit reports no eviction.
+        assert_eq!(t.fault_in_reported(0), (1 << 5, None));
     }
 
     #[test]

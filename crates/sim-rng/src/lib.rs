@@ -144,6 +144,50 @@ impl SimRng {
     }
 }
 
+/// A fixed-bound uniform sampler with the rejection threshold precomputed.
+///
+/// [`SimRng::gen_bounded`] recomputes `bound.wrapping_neg() % bound` — a
+/// 64-bit division — on every call. Hot loops that draw from the same
+/// bound millions of times (the workload generators) hoist that division
+/// to construction time. [`Bounded::sample`] consumes the generator
+/// identically to `gen_bounded`, so the two produce **bit-identical
+/// sequences** for the same bound — swapping one for the other can never
+/// change a seeded stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bounded {
+    bound: u64,
+    threshold: u64,
+}
+
+impl Bounded {
+    /// Precompute the sampler for `bound`. Panics when `bound == 0`.
+    pub fn new(bound: u64) -> Self {
+        assert!(bound > 0, "Bounded: zero bound");
+        Bounded {
+            bound,
+            threshold: bound.wrapping_neg() % bound,
+        }
+    }
+
+    /// The bound this sampler draws below.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// A uniform `u64` in `[0, bound)`; the same draws as
+    /// [`SimRng::gen_bounded`] with this bound.
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128) * (self.bound as u128);
+            if (m as u64) >= self.threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +237,21 @@ mod tests {
             seen[(x - 5) as usize] = true;
         }
         assert!(seen.iter().all(|&s| s), "all values must appear: {seen:?}");
+    }
+
+    #[test]
+    fn bounded_matches_gen_bounded_exactly() {
+        // The precomputed sampler must consume and map the generator
+        // identically to gen_bounded for pow2, non-pow2 and huge bounds.
+        for bound in [1u64, 2, 3, 7, 64, 1000, 1 << 21, u64::MAX / 3] {
+            let mut a = SimRng::seed_from_u64(99);
+            let mut b = SimRng::seed_from_u64(99);
+            let pre = Bounded::new(bound);
+            for _ in 0..10_000 {
+                assert_eq!(a.gen_bounded(bound), pre.sample(&mut b), "bound {bound}");
+            }
+            assert_eq!(a, b, "generator states diverged for bound {bound}");
+        }
     }
 
     #[test]

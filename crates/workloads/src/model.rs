@@ -27,7 +27,7 @@
 
 use cmp_sim::instr::{Instr, InstrSource};
 use cmp_sim::types::{Pc, LINE_BYTES};
-use sim_rng::SimRng;
+use sim_rng::{Bounded, SimRng};
 
 use crate::spec::{AppSpec, BigPattern};
 
@@ -48,9 +48,13 @@ const STORE_PC_OFFSET: Pc = 0x8000;
 pub struct AppModel {
     spec: AppSpec,
     rng: SimRng,
-    hot_lines: u64,
     mid_lines: u64,
     big_lines: u64,
+    /// Precomputed region samplers (`gen_range` hoisted: same draws, no
+    /// per-access division).
+    hot_pick: Bounded,
+    mid_pick: Bounded,
+    big_pick: Bounded,
     /// Next big-region line of the current burst (absolute line index
     /// within the big region).
     burst_line: u64,
@@ -61,6 +65,13 @@ pub struct AppModel {
     pending_store: Option<(u64, Pc)>,
     /// Whether the current burst is a scan (separate PC pool).
     in_scan: bool,
+    /// `w_big / expected_burst_len()`, hoisted from the per-draw path (a
+    /// constant of the spec; same f64 value as computing it inline).
+    p_burst: f64,
+    /// An instruction drawn past the end of an ALU run (see
+    /// [`InstrSource::next_alu_run`]), handed out by the next
+    /// `next_instr` call so the stream order is unchanged.
+    peeked: Option<Instr>,
     pc_counters: [u32; 4],
 }
 
@@ -68,19 +79,28 @@ impl AppModel {
     /// Build a model from a spec with a deterministic seed.
     pub fn new(spec: AppSpec, seed: u64) -> Self {
         spec.validate();
-        AppModel {
-            hot_lines: HOT_BYTES / LINE_BYTES,
-            mid_lines: spec.mid_bytes / LINE_BYTES,
-            big_lines: spec.big_bytes / LINE_BYTES,
+        let hot_lines = HOT_BYTES / LINE_BYTES;
+        let mid_lines = spec.mid_bytes / LINE_BYTES;
+        let big_lines = spec.big_bytes / LINE_BYTES;
+        let mut m = AppModel {
+            mid_lines,
+            big_lines,
+            hot_pick: Bounded::new(hot_lines.max(1)),
+            mid_pick: Bounded::new(mid_lines.max(1)),
+            big_pick: Bounded::new(big_lines.max(1)),
             rng: SimRng::seed_from_u64(seed ^ 0x5eed_0000),
             burst_line: 0,
             burst_left: 0,
             stream_pos: 0,
             pending_store: None,
             in_scan: false,
+            p_burst: 0.0,
+            peeked: None,
             pc_counters: [0; 4],
             spec,
-        }
+        };
+        m.p_burst = m.spec.w_big / m.expected_burst_len();
+        m
     }
 
     /// The spec driving this model.
@@ -93,12 +113,14 @@ impl AppModel {
         let (base, n) = [HOT_PCS, MID_PCS, BIG_PCS, SCAN_PCS][region];
         let c = self.pc_counters[region];
         self.pc_counters[region] = c.wrapping_add(1);
-        base + (c % n) * 4
+        // Pool sizes are powers of two; the mask is the modulo.
+        debug_assert!(n.is_power_of_two());
+        base + (c & (n - 1)) * 4
     }
 
     #[inline]
     fn hot_access(&mut self) -> Instr {
-        let line = self.rng.gen_range(0..self.hot_lines);
+        let line = self.hot_pick.sample(&mut self.rng);
         let vaddr = HOT_BASE + line * LINE_BYTES;
         let pc = self.next_pc(0);
         if self.rng.gen_f64() < self.spec.store_frac_hot {
@@ -113,7 +135,8 @@ impl AppModel {
 
     #[inline]
     fn mid_access(&mut self) -> Instr {
-        let line = self.rng.gen_range(0..self.mid_lines);
+        debug_assert!(self.mid_lines > 0);
+        let line = self.mid_pick.sample(&mut self.rng);
         let vaddr = MID_BASE + line * LINE_BYTES;
         let pc = self.next_pc(1);
         if self.rng.gen_f64() < self.spec.store_frac_mid {
@@ -125,8 +148,13 @@ impl AppModel {
 
     #[inline]
     fn big_access(&mut self) -> Instr {
-        let line = self.burst_line % self.big_lines;
+        // `burst_line` is kept normalized to `[0, big_lines)`, so the wrap
+        // is a compare instead of a per-access modulo.
+        let line = self.burst_line;
         self.burst_line += 1;
+        if self.burst_line == self.big_lines {
+            self.burst_line = 0;
+        }
         self.burst_left -= 1;
         let vaddr = BIG_BASE + line * LINE_BYTES;
         let pc = self.next_pc(if self.in_scan { 3 } else { 2 });
@@ -150,7 +178,10 @@ impl AppModel {
                 self.stream_pos = (self.stream_pos + len as u64) % self.big_lines;
                 start
             }
-            BigPattern::Random => self.rng.gen_range(0..self.big_lines),
+            BigPattern::Random => {
+                debug_assert!(self.big_lines > 0);
+                self.big_pick.sample(&mut self.rng)
+            }
         };
     }
 
@@ -159,10 +190,10 @@ impl AppModel {
         (1.0 - self.spec.scan_frac) * self.spec.burst as f64
             + self.spec.scan_frac * self.spec.scan_burst as f64
     }
-}
 
-impl InstrSource for AppModel {
-    fn next_instr(&mut self) -> Instr {
+    /// Draw the next instruction from the generative model (ignoring any
+    /// peeked instruction — callers handle that).
+    fn draw(&mut self) -> Instr {
         if self.rng.gen_f64() < self.spec.mem_frac {
             if let Some((vaddr, pc)) = self.pending_store.take() {
                 return Instr::Store { vaddr, pc };
@@ -174,7 +205,7 @@ impl InstrSource for AppModel {
             // probability is the big weight divided by the expected burst
             // length — keeping `w_big` the fraction of memory ops that are
             // big-region loads regardless of burstiness.
-            let p_burst = self.spec.w_big / self.expected_burst_len();
+            let p_burst = self.p_burst;
             let r = self.rng.gen_f64();
             if r < p_burst {
                 self.start_burst();
@@ -193,6 +224,34 @@ impl InstrSource for AppModel {
                 };
             Instr::Alu { latency }
         }
+    }
+}
+
+impl InstrSource for AppModel {
+    fn next_instr(&mut self) -> Instr {
+        if let Some(i) = self.peeked.take() {
+            return i;
+        }
+        self.draw()
+    }
+
+    fn next_alu_run(&mut self, max: u32) -> u32 {
+        if self.peeked.is_some() {
+            // The stashed instruction ended the previous run; it must be
+            // delivered (via `next_instr`) before any further draws.
+            return 0;
+        }
+        let mut n = 0;
+        while n < max {
+            match self.draw() {
+                Instr::Alu { latency: 1 } => n += 1,
+                other => {
+                    self.peeked = Some(other);
+                    break;
+                }
+            }
+        }
+        n
     }
 
     fn label(&self) -> &str {
@@ -235,6 +294,27 @@ mod tests {
         let mut b = AppModel::new(spec, 7);
         for _ in 0..10_000 {
             assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    #[test]
+    fn alu_run_batching_preserves_stream() {
+        // Consuming the model through next_alu_run + next_instr must yield
+        // exactly the stream next_instr alone would, for every app.
+        for spec in &SPEC_TABLE {
+            let mut plain = AppModel::new(*spec, 7);
+            let mut batched = AppModel::new(*spec, 7);
+            let mut got = Vec::with_capacity(60_000);
+            while got.len() < 50_000 {
+                let n = batched.next_alu_run(6);
+                for _ in 0..n {
+                    got.push(Instr::Alu { latency: 1 });
+                }
+                got.push(batched.next_instr());
+            }
+            for (i, want) in got.into_iter().enumerate() {
+                assert_eq!(plain.next_instr(), want, "{}: instr {i}", spec.name);
+            }
         }
     }
 

@@ -95,6 +95,35 @@ if [ "$BENCH_N" -lt 10 ] || [ "$BENCH_BAD" -ne 0 ]; then
 fi
 echo "bench smoke OK ($BENCH_N benches)"
 
+echo "== perf guard: end-to-end bench vs committed baseline =="
+# The end-to-end system bench must stay within 25% of the committed
+# baseline (BENCH_3.json, regenerated via scripts/bench_baseline.sh).
+# min_ns is the stablest statistic under scheduler noise, but host-to-host
+# wall-time still varies; set RENUCA_SKIP_PERF_GUARD=1 when running CI on
+# a machine the baseline was not recorded on.
+GUARD_BENCH="system/16core_renuca_10k_instr"
+if [ "${RENUCA_SKIP_PERF_GUARD:-0}" = "1" ]; then
+    echo "perf guard SKIPPED (RENUCA_SKIP_PERF_GUARD=1)"
+elif [ ! -f BENCH_3.json ]; then
+    echo "perf guard SKIPPED (no BENCH_3.json baseline)"
+else
+    BASE_MIN="$(grep -o "{\"bench\":\"$GUARD_BENCH\"[^}]*}" BENCH_3.json \
+        | grep -o '"min_ns":[0-9.eE+-]*' | head -1 | cut -d: -f2)"
+    LIVE_MIN="$(printf '%s\n' "$BENCH_OUT" \
+        | grep -o "{\"bench\":\"$GUARD_BENCH\"[^}]*}" \
+        | grep -o '"min_ns":[0-9.eE+-]*' | head -1 | cut -d: -f2)"
+    if [ -z "$BASE_MIN" ] || [ -z "$LIVE_MIN" ]; then
+        echo "perf guard FAILED: could not extract $GUARD_BENCH min_ns"
+        exit 1
+    fi
+    if ! awk -v live="$LIVE_MIN" -v base="$BASE_MIN" \
+        'BEGIN { exit !(live <= base * 1.25) }'; then
+        echo "perf guard FAILED: $GUARD_BENCH min ${LIVE_MIN}ns > 1.25x baseline ${BASE_MIN}ns"
+        exit 1
+    fi
+    echo "perf guard OK ($GUARD_BENCH min ${LIVE_MIN}ns vs baseline ${BASE_MIN}ns)"
+fi
+
 echo "== bench smoke: campaign scheduler overhead =="
 CAMPB_OUT="$(RENUCA_BENCH_SAMPLES=2 cargo bench -p bench --bench campaign_overhead 2>/dev/null \
     | grep '^{"bench"')"

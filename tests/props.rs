@@ -83,7 +83,7 @@ fn calendar_reservations_sound() {
             .collect();
         let mut cal = Calendar::new();
         for (now, hold) in reqs {
-            let t = reserve(&mut cal, now, hold);
+            let t = reserve(&mut cal, now, hold, 0);
             assert!(t >= now, "case {case}");
             for w in cal.windows(2) {
                 assert!(
