@@ -33,11 +33,7 @@ fn access_meta(line: u64, critical: bool) -> AccessMeta {
 }
 
 fn bench_cache() {
-    let geo = CacheGeometry {
-        size_bytes: 2 * 1024 * 1024,
-        assoc: 16,
-        latency: 100,
-    };
+    let geo = CacheGeometry::symmetric(2 * 1024 * 1024, 16, 100);
     {
         let mut cache = SetAssocCache::new(geo, true);
         for line in 0..1024u64 {
@@ -183,6 +179,35 @@ fn bench_placement() {
     }
 }
 
+fn bench_llc_banks() {
+    // The bank service model's hot path under sustained contention: 16
+    // banks hit round-robin with alternating reads and fills at a rate
+    // the 400-cycle write drain cannot keep up with, so every call takes
+    // the calendar-reservation path with a live backlog (touching
+    // intervals merge, so the calendar itself stays tiny).
+    use cmp_sim::bank::LlcBanks;
+    let geo = CacheGeometry {
+        size_bytes: 2 * 1024 * 1024,
+        assoc: 16,
+        tag_latency: 20,
+        read_latency: 100,
+        write_latency: 400,
+    };
+    let mut banks = LlcBanks::new(16, &geo, true);
+    let mut i = 0u64;
+    bench("bank/llc_bank_contention", move || {
+        i = i.wrapping_add(1);
+        let bank = (i & 15) as usize;
+        let now = i * 12;
+        if i & 1 == 0 {
+            black_box(banks.read(bank, now))
+        } else {
+            black_box(banks.fill(bank, now))
+        }
+    })
+    .report();
+}
+
 fn bench_workload_gen() {
     let spec = *workloads::app_by_name("mcf").unwrap();
     let mut model = AppModel::new(spec, 1);
@@ -251,6 +276,7 @@ fn main() {
     bench_dram();
     bench_tlb();
     bench_placement();
+    bench_llc_banks();
     bench_workload_gen();
     bench_wear();
     bench_full_system();

@@ -1,0 +1,27 @@
+//! Write-burst saturation macro point: one WB3 run per scheme on the
+//! asymmetric-default 16-core machine, timing the simulator while the
+//! per-bank service model (DESIGN.md §12) is under real queueing load —
+//! the regime where the bank calendars do the most work per access.
+use cmp_sim::SystemConfig;
+use experiments::runner::run_workload;
+use renuca_core::{CptConfig, Scheme};
+use workloads::{workload_mix, WBURST_ID_BASE};
+
+use bench::{bench_budget, header, timed};
+
+fn main() {
+    header("Write-burst saturation — all schemes under WB3 bank pressure");
+    let cfg = SystemConfig::default();
+    let wl = workload_mix(WBURST_ID_BASE + 3, cfg.n_cores);
+    for scheme in Scheme::ALL {
+        let r = timed(&format!("wburst3_{}", scheme.name()), || {
+            run_workload(&wl, scheme, cfg, CptConfig::default(), bench_budget())
+        });
+        let queued: u64 = r.bank_service.iter().map(|b| b.queue_cycles.get()).sum();
+        println!(
+            "{:<8} ipc={:.2} bank queue_cycles={queued}",
+            scheme.name(),
+            r.total_ipc()
+        );
+    }
+}

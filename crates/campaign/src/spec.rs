@@ -381,10 +381,12 @@ fn parse_workloads(rest: &[&str]) -> Result<Vec<usize>, String> {
         }
     }
     for id in &out {
-        if *id > workloads::N_WORKLOADS {
+        if !workloads::is_workload_id(*id) {
             return Err(format!(
-                "workload {id} out of range (1..={})",
-                workloads::N_WORKLOADS
+                "workload {id} out of range (1..={} or write-burst ids {}..={})",
+                workloads::N_WORKLOADS,
+                workloads::WBURST_ID_BASE + 1,
+                workloads::TRICKLE_ID
             ));
         }
     }

@@ -339,14 +339,7 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 4 sets x 2 ways of 64B lines = 512B.
-        SetAssocCache::new(
-            CacheGeometry {
-                size_bytes: 512,
-                assoc: 2,
-                latency: 1,
-            },
-            false,
-        )
+        SetAssocCache::new(CacheGeometry::symmetric(512, 2, 1), false)
     }
 
     #[test]
@@ -438,11 +431,7 @@ mod tests {
 
     #[test]
     fn hashed_index_still_covers_all_sets() {
-        let geo = CacheGeometry {
-            size_bytes: 64 * 1024,
-            assoc: 4,
-            latency: 1,
-        };
+        let geo = CacheGeometry::symmetric(64 * 1024, 4, 1);
         let c = SetAssocCache::new(geo, true);
         let mut seen = vec![false; c.sets()];
         for line in 0..(4 * c.sets() as u64) {

@@ -3,17 +3,48 @@
 use crate::types::LINE_BYTES;
 
 /// Geometry and latency of one set-associative cache.
+///
+/// Latency is split three ways because the L3 banks are ReRAM: the tag
+/// array is SRAM (fast), reads are moderate, and writes are the 4–8×
+/// outlier the whole paper is about. SRAM levels (L1/L2) use
+/// [`CacheGeometry::symmetric`], which sets all three equal and reproduces
+/// the old single-`latency` behaviour exactly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Capacity in bytes.
     pub size_bytes: u64,
     /// Associativity (ways per set).
     pub assoc: usize,
-    /// Access latency in cycles.
-    pub latency: u64,
+    /// Tag-array check latency in cycles (charged on a miss, where no data
+    /// array operation happens; overlapped with the data read on a hit).
+    pub tag_latency: u64,
+    /// Data-array read latency in cycles (a hit costs this much total —
+    /// the tag check overlaps the data access, as in a parallel-access
+    /// SRAM tag / ReRAM data organization).
+    pub read_latency: u64,
+    /// Data-array write latency in cycles: how long a fill or writeback
+    /// occupies the data array. ReRAM SET/RESET is the paper's bottleneck.
+    pub write_latency: u64,
 }
 
 impl CacheGeometry {
+    /// A geometry whose tag, read and write paths all take `latency`
+    /// cycles — the pre-split single-latency model, used for the SRAM
+    /// levels and for legacy-compatible L3 configurations.
+    pub const fn symmetric(size_bytes: u64, assoc: usize, latency: u64) -> Self {
+        CacheGeometry {
+            size_bytes,
+            assoc,
+            tag_latency: latency,
+            read_latency: latency,
+            write_latency: latency,
+        }
+    }
+
+    /// True when all three latencies are equal (the legacy model).
+    pub const fn is_symmetric(&self) -> bool {
+        self.tag_latency == self.read_latency && self.read_latency == self.write_latency
+    }
     /// Number of sets (`size / (line * assoc)`).
     ///
     /// # Panics
@@ -168,7 +199,10 @@ pub struct SystemConfig {
     pub l1: CacheGeometry,
     /// Private L2 (Table I: 256 KB, 8-way, 5-cycle; 128 KB in sensitivity).
     pub l2: CacheGeometry,
-    /// One L3 NUCA bank (Table I: 2 MB, 16-way, 100-cycle; 1 MB sensitivity).
+    /// One L3 NUCA bank (Table I: 2 MB, 16-way, 100-cycle read; 1 MB
+    /// sensitivity). The default is asymmetric ReRAM timing: a 20-cycle
+    /// SRAM tag check, 100-cycle reads, 400-cycle writes (§II of the
+    /// paper: ReRAM writes are 4–8× slower than reads).
     pub l3_bank: CacheGeometry,
     /// Number of L3 banks (= number of cores, 16).
     pub n_banks: usize,
@@ -209,6 +243,13 @@ pub struct SystemConfig {
     /// inter-set leveling, §VI of the paper — orthogonal to Re-NUCA and
     /// composable with it). `None` disables (the paper's baseline).
     pub intra_bank_rotation_writes: Option<u64>,
+    /// Model L3 bank data-array occupancy: reads/writes/fills reserve the
+    /// bank's busy calendar for their service time and later operations
+    /// queue behind them (the same mechanism mesh links and DRAM banks
+    /// use). Disabling it reverts to the pre-queue model where banks have
+    /// infinite internal bandwidth — combined with a symmetric
+    /// [`CacheGeometry`] that reproduces the legacy timings exactly.
+    pub l3_bank_occupancy: bool,
 }
 
 impl Default for SystemConfig {
@@ -220,20 +261,14 @@ impl Default for SystemConfig {
             fetch_width: 4,
             commit_width: 4,
             mshrs_per_core: 8,
-            l1: CacheGeometry {
-                size_bytes: 32 * 1024,
-                assoc: 4,
-                latency: 2,
-            },
-            l2: CacheGeometry {
-                size_bytes: 256 * 1024,
-                assoc: 8,
-                latency: 5,
-            },
+            l1: CacheGeometry::symmetric(32 * 1024, 4, 2),
+            l2: CacheGeometry::symmetric(256 * 1024, 8, 5),
             l3_bank: CacheGeometry {
                 size_bytes: 2 * 1024 * 1024,
                 assoc: 16,
-                latency: 100,
+                tag_latency: 20,
+                read_latency: 100,
+                write_latency: 400,
             },
             n_banks: 16,
             noc: NocConfig::default(),
@@ -246,6 +281,7 @@ impl Default for SystemConfig {
             track_block_criticality: false,
             prefetch: PrefetchConfig::default(),
             intra_bank_rotation_writes: None,
+            l3_bank_occupancy: true,
         }
     }
 }
@@ -266,6 +302,18 @@ impl SystemConfig {
     /// The sensitivity-study variant with a 168-entry ROB (§V.C).
     pub fn with_rob_168(mut self) -> Self {
         self.rob_entries = 168;
+        self
+    }
+
+    /// The legacy symmetric-latency L3: every bank operation takes the
+    /// read latency and banks never serialize internally. This is the
+    /// pre-asymmetric-split timing model, kept for regression comparison
+    /// and for studies that want NoC-only contention.
+    pub fn with_symmetric_llc(mut self) -> Self {
+        let r = self.l3_bank.read_latency;
+        self.l3_bank.tag_latency = r;
+        self.l3_bank.write_latency = r;
+        self.l3_bank_occupancy = false;
         self
     }
 
@@ -327,7 +375,16 @@ impl SystemConfig {
         for (name, g) in [("l1", self.l1), ("l2", self.l2), ("l3_bank", self.l3_bank)] {
             reg.set(format!("{prefix}.{name}.size_bytes"), g.size_bytes);
             reg.set(format!("{prefix}.{name}.assoc"), g.assoc as u64);
-            reg.set(format!("{prefix}.{name}.latency"), g.latency);
+            // Legacy key: the read latency under the pre-split schema name,
+            // always emitted so symmetric configs echo byte-identically to
+            // pre-split manifests. Asymmetric geometries additionally emit
+            // the full three-way split.
+            reg.set(format!("{prefix}.{name}.latency"), g.read_latency);
+            if !g.is_symmetric() {
+                reg.set(format!("{prefix}.{name}.tag_latency"), g.tag_latency);
+                reg.set(format!("{prefix}.{name}.read_latency"), g.read_latency);
+                reg.set(format!("{prefix}.{name}.write_latency"), g.write_latency);
+            }
         }
         reg.set(format!("{prefix}.n_banks"), self.n_banks as u64);
         reg.set(format!("{prefix}.noc.cols"), self.noc.cols as u64);
@@ -390,6 +447,12 @@ impl SystemConfig {
             format!("{prefix}.intra_bank_rotation_writes"),
             self.intra_bank_rotation_writes.unwrap_or(0),
         );
+        // Only emitted when the bank service model is active, so that
+        // legacy symmetric configurations (which also disable occupancy)
+        // keep the exact pre-split manifest schema.
+        if self.l3_bank_occupancy {
+            reg.set(format!("{prefix}.l3_bank_occupancy"), 1u64);
+        }
     }
 
     /// Validate internal consistency. Called by `System::new`.
@@ -415,6 +478,18 @@ impl SystemConfig {
         let _ = self.l1.sets();
         let _ = self.l2.sets();
         let _ = self.l3_bank.sets();
+        for (name, g) in [("l1", self.l1), ("l2", self.l2), ("l3_bank", self.l3_bank)] {
+            assert!(
+                g.tag_latency <= g.read_latency,
+                "{name}: the tag check overlaps the data read on a hit, \
+                 so tag_latency must not exceed read_latency"
+            );
+            assert!(
+                g.read_latency <= g.write_latency,
+                "{name}: writes cannot be faster than reads \
+                 (symmetric geometries use equal latencies)"
+            );
+        }
         assert!(self.tlb_entries % self.tlb_assoc == 0);
         assert!((self.tlb_entries / self.tlb_assoc).is_power_of_two());
     }
@@ -434,13 +509,19 @@ mod tests {
         assert_eq!(c.noc.cols * c.noc.rows, 16); // 4x4 mesh
         assert_eq!(c.l1.size_bytes, 32 * 1024);
         assert_eq!(c.l1.assoc, 4);
-        assert_eq!(c.l1.latency, 2);
+        assert_eq!(c.l1, CacheGeometry::symmetric(32 * 1024, 4, 2));
         assert_eq!(c.l2.size_bytes, 256 * 1024);
         assert_eq!(c.l2.assoc, 8);
-        assert_eq!(c.l2.latency, 5);
+        assert_eq!(c.l2, CacheGeometry::symmetric(256 * 1024, 8, 5));
         assert_eq!(c.l3_bank.size_bytes, 2 * 1024 * 1024);
         assert_eq!(c.l3_bank.assoc, 16);
-        assert_eq!(c.l3_bank.latency, 100);
+        // Table I lists the 100-cycle bank access; the asymmetric ReRAM
+        // split (tag 20 / read 100 / write 400) refines it per §II.
+        assert_eq!(c.l3_bank.read_latency, 100);
+        assert_eq!(c.l3_bank.tag_latency, 20);
+        assert_eq!(c.l3_bank.write_latency, 400);
+        assert!(!c.l3_bank.is_symmetric());
+        assert!(c.l3_bank_occupancy);
         assert_eq!(c.n_banks, 16); // 32 MB total
         assert_eq!(c.dram.channels, 4);
         assert_eq!(c.dram.ranks, 2);
@@ -466,11 +547,7 @@ mod tests {
 
     #[test]
     fn cache_geometry_sets() {
-        let g = CacheGeometry {
-            size_bytes: 32 * 1024,
-            assoc: 4,
-            latency: 2,
-        };
+        let g = CacheGeometry::symmetric(32 * 1024, 4, 2);
         assert_eq!(g.sets(), 128); // 512 lines / 4 ways
         assert_eq!(g.lines(), 512);
         let l3 = SystemConfig::default().l3_bank;
@@ -481,12 +558,33 @@ mod tests {
     #[test]
     #[should_panic(expected = "power-of-two")]
     fn bad_geometry_rejected() {
-        CacheGeometry {
-            size_bytes: 3000,
-            assoc: 4,
-            latency: 1,
-        }
-        .sets();
+        CacheGeometry::symmetric(3000, 4, 1).sets();
+    }
+
+    #[test]
+    fn symmetric_llc_builder_reverts_to_legacy_model() {
+        let c = SystemConfig::default().with_symmetric_llc();
+        c.validate();
+        assert!(c.l3_bank.is_symmetric());
+        assert_eq!(c.l3_bank.read_latency, 100);
+        assert_eq!(c.l3_bank.write_latency, 100);
+        assert!(!c.l3_bank_occupancy);
+    }
+
+    #[test]
+    #[should_panic(expected = "faster than reads")]
+    fn write_faster_than_read_rejected() {
+        let mut c = SystemConfig::default();
+        c.l3_bank.write_latency = 50;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tag_latency")]
+    fn tag_slower_than_read_rejected() {
+        let mut c = SystemConfig::default();
+        c.l3_bank.tag_latency = 200;
+        c.validate();
     }
 
     #[test]

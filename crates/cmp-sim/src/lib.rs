@@ -7,6 +7,9 @@
 //! DDR3 memory system. None of that substrate exists as reusable Rust code,
 //! so this crate builds it:
 //!
+//! * [`bank`] — the per-bank LLC service model: asymmetric ReRAM
+//!   read/write latencies and data-array occupancy calendars, so slow
+//!   writes delay later reads to the same bank,
 //! * [`cache`] — set-associative caches with LRU replacement, write-back /
 //!   write-allocate, per-slot fill reporting (the wear model needs to know
 //!   the physical (set, way) every write lands in),
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod cache;
 pub mod coherence;
 pub mod config;

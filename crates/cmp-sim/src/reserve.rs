@@ -37,6 +37,13 @@ const TAIL_SCAN: usize = 64;
 /// with a short backward scan from the end (binary-search fallback for
 /// pathological tails).
 pub fn reserve(busy: &mut Calendar, now: Cycle, hold: Cycle, floor: Cycle) -> Cycle {
+    // A floor ahead of `now` breaks the promise the floor encodes: an
+    // interval that ends in (now, floor] is still live for this request
+    // but would be dropped as dead history, silently un-queueing it.
+    debug_assert!(
+        floor <= now,
+        "reserve: floor {floor} > now {now} would drop live intervals"
+    );
     if hold == 0 {
         return now;
     }
@@ -201,6 +208,30 @@ mod tests {
             "floored calendar must stay near its live set: {}",
             floored.len()
         );
+    }
+
+    #[test]
+    fn append_fast_path_drains_partially_dead_calendar() {
+        // busy[0] is dead history (ends at or before the floor) but the
+        // tail is live: the append fast path must drop exactly the dead
+        // prefix and keep the live tail intact.
+        let mut c = cal(&[(0, 10), (20, 30)]);
+        assert_eq!(reserve(&mut c, 40, 5, 15), 40);
+        assert_eq!(c, cal(&[(20, 30), (40, 45)]));
+
+        // Same shape, but the new reservation touches the live tail: the
+        // drain must compose with the touching-interval merge.
+        let mut c = cal(&[(0, 10), (20, 30)]);
+        assert_eq!(reserve(&mut c, 30, 5, 15), 30);
+        assert_eq!(c, cal(&[(20, 35)]));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "floor")]
+    fn floor_ahead_of_now_is_rejected() {
+        let mut c = cal(&[(0, 50)]);
+        reserve(&mut c, 10, 5, 20);
     }
 
     #[test]

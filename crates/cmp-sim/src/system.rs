@@ -63,6 +63,8 @@ pub struct SimResult {
     pub coherence: crate::coherence::CoherenceStats,
     /// Per-bank L3 cache counters (index = bank).
     pub l3_banks: Vec<crate::cache::CacheStats>,
+    /// Per-bank data-array service/contention statistics (index = bank).
+    pub bank_service: Vec<crate::bank::BankStats>,
     /// Echo of the configuration that produced this run.
     pub config: SystemConfig,
 }
@@ -138,6 +140,9 @@ impl SimResult {
             reg.set(format!("{p}.writes"), *writes);
             if let Some(cs) = self.l3_banks.get(b) {
                 cs.register(&mut reg, &p);
+            }
+            if let Some(bs) = self.bank_service.get(b) {
+                bs.register(&mut reg, &p);
             }
         }
         self.hierarchy.register(&mut reg, "hierarchy");
@@ -364,6 +369,7 @@ impl System {
             l3_banks: (0..self.cfg.n_banks)
                 .map(|b| self.mem.l3_stats(b))
                 .collect(),
+            bank_service: self.mem.banks.stats_vec(),
             config: self.cfg,
         }
     }

@@ -30,11 +30,7 @@ fn lru_keeps_most_recent_ways() {
     for case in 0..CASES {
         let accesses = u64_vec(&mut rng, 1..200, 64);
         // Single-set cache: 4 ways, 4 lines * 64B... geometry: 256B, assoc 4 -> 1 set.
-        let geo = CacheGeometry {
-            size_bytes: 256,
-            assoc: 4,
-            latency: 1,
-        };
+        let geo = CacheGeometry::symmetric(256, 4, 1);
         let mut cache = SetAssocCache::new(geo, false);
         // Map every access to set 0 by multiplying by the set count (1): all collide.
         let mut recency: Vec<u64> = Vec::new();
@@ -62,11 +58,7 @@ fn no_silent_dirty_loss() {
         let ops: Vec<(u64, bool)> = (0..n_ops)
             .map(|_| (rng.gen_bounded(128), rng.gen_bool(0.5)))
             .collect();
-        let geo = CacheGeometry {
-            size_bytes: 2048,
-            assoc: 4,
-            latency: 1,
-        }; // 8 sets
+        let geo = CacheGeometry::symmetric(2048, 4, 1); // 8 sets
         let mut cache = SetAssocCache::new(geo, false);
         let mut dirty_outstanding: std::collections::HashSet<u64> = Default::default();
         for (line, is_write) in ops {

@@ -1,0 +1,99 @@
+//! Legacy-timing regression: a symmetric-latency L3 with bank occupancy
+//! disabled (`SystemConfig::with_symmetric_llc`) must reproduce the
+//! pre-asymmetric-split timing model cycle-for-cycle.
+//!
+//! The reference values below were captured from the scalar-`l3_latency`
+//! model (before the per-bank service model landed) on a deterministic
+//! 4-core mixed workload exercising every retimed path: L3 hits, tag-check
+//! misses with DRAM fills, L2→L3 writebacks, stride prefetches and
+//! coherence invalidations. Any drift here means the symmetric mapping of
+//! the new bank model is no longer exact.
+
+use cmp_sim::config::SystemConfig;
+use cmp_sim::instr::{CyclicSource, Instr};
+use cmp_sim::placement::{AccessMeta, LlcPlacement};
+use cmp_sim::system::System;
+use cmp_sim::types::BankId;
+
+struct Striped {
+    nbanks: usize,
+}
+impl LlcPlacement for Striped {
+    fn name(&self) -> &'static str {
+        "striped"
+    }
+    fn lookup_bank(&mut self, m: &AccessMeta) -> BankId {
+        (m.line as usize) & (self.nbanks - 1)
+    }
+    fn fill_bank(&mut self, m: &AccessMeta) -> BankId {
+        (m.line as usize) & (self.nbanks - 1)
+    }
+}
+
+fn mixed_source(core: u64) -> Box<dyn cmp_sim::instr::InstrSource> {
+    // Mixed hit/miss/store stream: loads sweep a window beyond the 4x2MB
+    // L3, a third of them store back to the swept line (L2 writeback
+    // traffic once the 8192-line footprint overflows the L2), plus a
+    // shared region for coherence invalidations.
+    let mut v = Vec::new();
+    for i in 0..8192u64 {
+        v.push(Instr::Load {
+            vaddr: core * (1 << 26) + i * 64 * 97,
+            pc: 1,
+        });
+        if i % 3 == 0 {
+            v.push(Instr::Store {
+                vaddr: core * (1 << 26) + i * 64 * 97,
+                pc: 2,
+            });
+        }
+        if i % 7 == 0 {
+            v.push(Instr::Load {
+                vaddr: (1 << 30) + (i % 64) * 64,
+                pc: 3,
+            });
+            v.push(Instr::Store {
+                vaddr: (1 << 30) + (i % 64) * 64,
+                pc: 4,
+            });
+        }
+        v.push(Instr::Alu { latency: 1 });
+    }
+    Box::new(CyclicSource::new("mixed", v))
+}
+
+#[test]
+fn symmetric_config_reproduces_legacy_timings_exactly() {
+    let cfg = SystemConfig::small(4).with_symmetric_llc();
+    let preds = System::never_critical(&cfg);
+    let sources = (0..4).map(mixed_source).collect();
+    let mut sys = System::new(cfg, Box::new(Striped { nbanks: 4 }), sources, preds);
+    sys.run(20_000);
+    let r = sys.result();
+
+    // Captured from the pre-split scalar-latency model.
+    assert_eq!(sys.now(), 283_656, "end-to-end cycle count drifted");
+    assert_eq!(r.cycles, 283_656);
+    assert_eq!(r.hierarchy.l3_writes.get(), 35_614);
+    assert_eq!(r.hierarchy.l3_fills.get(), 30_815);
+    assert_eq!(r.noc.flit_hops.get(), 208_896, "mesh traffic drifted");
+    assert!((r.total_ipc() - 0.282_247).abs() < 1e-6, "IPC drifted");
+
+    // The occupancy-disabled model must never queue, while op accounting
+    // still matches the wear model per bank.
+    for (b, s) in r.bank_service.iter().enumerate() {
+        assert_eq!(
+            s.queue_cycles.get(),
+            0,
+            "bank {b} queued with occupancy off"
+        );
+        assert_eq!(
+            s.fill_ops.get() + s.write_ops.get(),
+            r.wear.bank_totals()[b],
+            "bank {b}: data-array writes vs wear"
+        );
+        if s.ops() > 0 {
+            assert_eq!(s.transitions(), s.ops() - 1, "bank {b} transition sum");
+        }
+    }
+}

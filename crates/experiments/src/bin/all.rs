@@ -2,7 +2,6 @@
 //! simulations where possible (the main study feeds Figures 3, 4b, 11, 12
 //! and Table III's first row; each sensitivity study feeds two figures and
 //! one Table III row).
-use cmp_sim::SystemConfig;
 use experiments::figures::{criticality, lifetime, predictor_study, sensitivity, table2, table3};
 use experiments::obs;
 use renuca_core::CptConfig;
@@ -24,7 +23,7 @@ fn main() {
     println!("{}", predictor_study::format_fig8(&ps));
     println!("{}", predictor_study::format_fig9(&ps));
 
-    let main_study = lifetime::run("Actual Results", SystemConfig::default(), budget);
+    let main_study = lifetime::run("Actual Results", obs::default_config(), budget);
     println!("{}", lifetime::format_fig3(&main_study));
     println!("{}", lifetime::format_fig4b(&main_study));
     println!("{}", lifetime::format_fig11(&main_study));

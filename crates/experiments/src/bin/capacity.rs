@@ -1,11 +1,10 @@
 //! Capacity-retention curves per scheme (extension of the paper's §III.B).
-use cmp_sim::SystemConfig;
 use experiments::figures::{capacity, lifetime};
 use experiments::obs;
 
 fn main() {
     let (sink, budget) = obs::standard_args();
-    let cfg = SystemConfig::default();
+    let cfg = obs::default_config();
     let study = lifetime::run("Actual Results", cfg, budget);
     println!("{}", capacity::format_retention(&study, 16.0, 9));
     obs::emit_study_manifest(&sink, "capacity", Some(&cfg), budget, &study);

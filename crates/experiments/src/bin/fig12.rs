@@ -1,11 +1,10 @@
 //! Regenerate Figure 12 (Re-NUCA wear-leveling, all five schemes).
-use cmp_sim::SystemConfig;
 use experiments::figures::lifetime;
 use experiments::obs;
 
 fn main() {
     let (sink, budget) = obs::standard_args();
-    let cfg = SystemConfig::default();
+    let cfg = obs::default_config();
     let study = lifetime::run("Actual Results", cfg, budget);
     println!("{}", lifetime::format_fig12(&study));
     println!("{}", lifetime::headline(&study));

@@ -1,11 +1,10 @@
 //! Regenerate Figure 3 (motivation: baseline per-bank lifetimes).
-use cmp_sim::SystemConfig;
 use experiments::figures::lifetime;
 use experiments::obs;
 
 fn main() {
     let (sink, budget) = obs::standard_args();
-    let cfg = SystemConfig::default();
+    let cfg = obs::default_config();
     let study = lifetime::run("Actual Results", cfg, budget);
     println!("{}", lifetime::format_fig3(&study));
     obs::emit_study_manifest(&sink, "fig3", Some(&cfg), budget, &study);

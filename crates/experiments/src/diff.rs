@@ -11,7 +11,8 @@
 //!
 //! At end of trace it additionally compares a full [`StatsRegistry`] dump
 //! (per-core, hierarchy and coherence-directory counters, byte for byte),
-//! the per-slot wear counters, and the policy-internal state reachable
+//! the per-slot wear counters, the bank service model's op accounting
+//! against the wear histogram, and the policy-internal state reachable
 //! through [`LlcPlacement::as_any`]: Re-NUCA's Mapping Bit Vectors and the
 //! Naive oracle's directory + write counters.
 //!
@@ -477,7 +478,31 @@ fn final_state_compare(
         }
     }
 
-    // 3. Policy-internal state via the as_any escape hatch.
+    // 3. Bank service-model accounting against the wear model: every
+    // data-array write the service model performed (fills + L2
+    // writebacks) must also be a wear-histogram write, and the op-class
+    // transition counters must chain (rar+raw+war+waw == ops - 1 per
+    // bank). The golden model has no timing, so these are invariants of
+    // the real side that the harness pins on every corpus trace.
+    for bank in 0..cfg.n_banks {
+        let bs = h.banks.stats(bank);
+        let writes = bs.fill_ops.get() + bs.write_ops.get();
+        let wear = h.wear.bank_totals()[bank];
+        if writes != wear {
+            return Err(fail(format!(
+                "bank {bank} service-model writes diverged from wear histogram: \
+                 fills+writebacks {writes}, wear {wear}"
+            )));
+        }
+        let (n_ops, trans) = (bs.ops(), bs.transitions());
+        if n_ops > 0 && trans != n_ops - 1 {
+            return Err(fail(format!(
+                "bank {bank} op transitions must chain: {trans} transitions over {n_ops} ops"
+            )));
+        }
+    }
+
+    // 4. Policy-internal state via the as_any escape hatch.
     if let Some(any) = h.policy().as_any() {
         if let Some(real) = any.downcast_ref::<NaiveOracle>() {
             if real.write_counters() != g.policy.naive_writes.as_slice() {
@@ -538,7 +563,7 @@ fn final_state_compare(
         }
     }
 
-    // 4. CPT lifecycle counters (Re-NUCA only).
+    // 5. CPT lifecycle counters (Re-NUCA only).
     if renuca {
         for (c, (real, gold)) in cpts.iter().zip(gcpts.iter()).enumerate() {
             let rs = real.cpt_stats;

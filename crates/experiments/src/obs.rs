@@ -85,6 +85,21 @@ pub fn standard_args() -> (StatsSink, Budget) {
     (StatsSink::from_env_args(), Budget::from_env())
 }
 
+/// The default 16-core machine for the study-family binaries, honouring
+/// the `RENUCA_SYMMETRIC_LLC` escape hatch: set it to `1` (or `true`) to
+/// map the L3 banks back to the legacy flat-latency model
+/// ([`SystemConfig::with_symmetric_llc`]). The symmetric mapping is
+/// cycle-exact and the config echo drops the asymmetric-only keys, so a
+/// run under the hatch — manifest included — is byte-identical to the
+/// pre-bank-service-model simulator (see DESIGN.md §12).
+pub fn default_config() -> SystemConfig {
+    let cfg = SystemConfig::default();
+    match std::env::var("RENUCA_SYMMETRIC_LLC") {
+        Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => cfg.with_symmetric_llc(),
+        _ => cfg,
+    }
+}
+
 /// Where (if anywhere) a binary should write its run manifest.
 ///
 /// Resolved once at startup from the command line and environment by

@@ -22,7 +22,9 @@
 //! writeback/WPKI driver) and a *big* set (exceeds the L3: the miss/MPKI
 //! driver, streaming or random) — with per-region store fractions, a
 //! burstiness knob for MLP, and a deterministic PC pool per region. The 22
-//! parameter sets live in [`spec::SPEC_TABLE`], one per Table II row.
+//! parameter sets live in [`spec::SPEC_TABLE`], one per Table II row. A
+//! separate synthetic family ([`wburst`]) saturates the L3 bank service
+//! model with escalating write pressure — not a Table II reproduction.
 //!
 //! Determinism: every model is seeded; the same (app, seed) pair generates
 //! the identical instruction stream on every run.
@@ -33,7 +35,9 @@
 pub mod mixes;
 pub mod model;
 pub mod spec;
+pub mod wburst;
 
-pub use mixes::{workload_mix, WorkloadMix, N_WORKLOADS};
+pub use mixes::{is_workload_id, workload_mix, WorkloadMix, N_WORKLOADS};
 pub use model::AppModel;
 pub use spec::{app_by_name, AppSpec, WriteIntensity, SPEC_TABLE};
+pub use wburst::{N_WBURST, TRICKLE_ID, WBURST_ID_BASE, WBURST_TABLE};

@@ -13,10 +13,18 @@ use sim_rng::SimRng;
 
 use crate::model::AppModel;
 use crate::spec::{AppSpec, WriteIntensity, SPEC_TABLE};
+use crate::wburst::{wburst_level, TRICKLE, TRICKLE_ID, WBURST_ID_BASE, WBURST_TABLE};
 use cmp_sim::instr::InstrSource;
 
 /// Number of evaluation workloads (paper: 10).
 pub const N_WORKLOADS: usize = 10;
+
+/// Is `id` a valid argument to [`workload_mix`]? Covers the paper mixes
+/// WL1–WL10 plus the write-burst family (WB1–WB4, trickle; see
+/// [`crate::wburst`]).
+pub fn is_workload_id(id: usize) -> bool {
+    (1..=N_WORKLOADS).contains(&id) || wburst_level(id).is_some() || id == TRICKLE_ID
+}
 
 /// One 16-core multiprogrammed workload.
 #[derive(Clone, Debug)]
@@ -28,9 +36,15 @@ pub struct WorkloadMix {
 }
 
 impl WorkloadMix {
-    /// Display name ("WL3").
+    /// Display name ("WL3", "WB2", "trickle").
     pub fn name(&self) -> String {
-        format!("WL{}", self.id)
+        if self.id == TRICKLE_ID {
+            "trickle".to_owned()
+        } else if let Some(level) = wburst_level(self.id) {
+            format!("WB{level}")
+        } else {
+            format!("WL{}", self.id)
+        }
     }
 
     /// Count of apps in each intensity class `(high, medium, low)`.
@@ -69,12 +83,32 @@ impl WorkloadMix {
 /// and fill the rest from the medium/low pool, then shuffle core
 /// assignment. Deterministic in `(id, n_cores)`.
 ///
+/// The write-burst family rides the same id space: WB levels
+/// (`WBURST_ID_BASE + 1..=WBURST_ID_BASE + 4`) and the trickle probe
+/// ([`TRICKLE_ID`]) build *homogeneous* mixes — every core runs the same
+/// synthetic app (distinct per-core seeds) so bank pressure scales with
+/// the level and nothing else.
+///
 /// # Panics
-/// Panics when `id` is outside `1..=N_WORKLOADS`.
+/// Panics when `id` is not a valid workload id (see [`is_workload_id`]).
 pub fn workload_mix(id: usize, n_cores: usize) -> WorkloadMix {
+    if id == TRICKLE_ID {
+        return WorkloadMix {
+            id,
+            apps: vec![&TRICKLE; n_cores],
+        };
+    }
+    if let Some(level) = wburst_level(id) {
+        return WorkloadMix {
+            id,
+            apps: vec![&WBURST_TABLE[level - 1]; n_cores],
+        };
+    }
     assert!(
         (1..=N_WORKLOADS).contains(&id),
-        "workload id must be 1..={N_WORKLOADS}, got {id}"
+        "workload id must be 1..={N_WORKLOADS} or a write-burst id \
+         ({}..={TRICKLE_ID}), got {id}",
+        WBURST_ID_BASE + 1
     );
     let mut rng = SimRng::seed_from_u64(0xC0FFEE ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15));
 
@@ -177,5 +211,37 @@ mod tests {
     #[test]
     fn name_formatting() {
         assert_eq!(workload_mix(7, 16).name(), "WL7");
+        assert_eq!(workload_mix(102, 16).name(), "WB2");
+        assert_eq!(workload_mix(105, 1).name(), "trickle");
+    }
+
+    #[test]
+    fn wburst_mixes_are_homogeneous() {
+        for id in 101..=104 {
+            let wl = workload_mix(id, 16);
+            assert_eq!(wl.apps.len(), 16);
+            assert!(wl.apps.iter().all(|a| a.name == wl.apps[0].name));
+            let (h, _, _) = wl.intensity_mix();
+            assert_eq!(h, 16, "{}: every core must burst writes", wl.name());
+        }
+    }
+
+    #[test]
+    fn workload_id_validity() {
+        for id in 1..=10 {
+            assert!(is_workload_id(id), "{id}");
+        }
+        for id in 101..=105 {
+            assert!(is_workload_id(id), "{id}");
+        }
+        for id in [0, 11, 99, 100, 106] {
+            assert!(!is_workload_id(id), "{id}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "workload id")]
+    fn id_between_families_rejected() {
+        workload_mix(100, 16);
     }
 }

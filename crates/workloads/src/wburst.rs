@@ -1,0 +1,181 @@
+//! The write-burst saturation family (WB1–WB4) and the trickle probe.
+//!
+//! These are not Table II applications: they exist to stress the L3 bank
+//! service model (DESIGN.md §12), where every fill and L2 writeback
+//! occupies a ReRAM bank's data array for the full (slow) write latency
+//! and later reads queue behind it. Each WB level runs the *same*
+//! synthetic app on every core — a homogeneous copy-stream whose write
+//! pressure escalates with the level — so per-bank queueing grows
+//! monotonically from WB1 to WB4 and scheme differences under bank
+//! pressure are isolated from workload-mix noise.
+//!
+//! The knobs that escalate per level:
+//!
+//! * `w_big` — the miss (fill) rate driver;
+//! * `burst` — memory-level parallelism: overlapped misses pile writes
+//!   onto a bank faster than its write latency drains them;
+//! * `store_frac_big` — read-modify-write share, doubling each line's
+//!   bank writes via the L2 writeback path;
+//! * `w_mid` (store-heavy, L3-resident) — adds write-to-read turnaround
+//!   (`raw`/`war` transitions) on lines that *hit* the L3.
+//!
+//! [`TRICKLE`] is the opposite extreme for CI: sparse isolated misses
+//! (~1 big access per 1 600 instructions, `burst = 1`, no stores) over a
+//! footprint so large that nothing is ever re-read from the L3. Since
+//! `queue_cycles` counts read-side stall only, even the asymmetric
+//! default configuration must report **zero** `queue_cycles` on every
+//! bank. A nonzero value under trickle means bank occupancy leaks into
+//! uncontended single-core timing.
+//!
+//! Workload ids: WB*k* is `WBURST_ID_BASE + k` (101–104), the trickle
+//! probe is [`TRICKLE_ID`] (105); `workload_mix` accepts these alongside
+//! WL1–WL10.
+
+use crate::spec::{AppSpec, BigPattern};
+
+/// Workload ids `WBURST_ID_BASE + 1 ..= WBURST_ID_BASE + N_WBURST` are the
+/// write-burst levels (kept far from the WL1–WL10 range so future paper
+/// mixes never collide).
+pub const WBURST_ID_BASE: usize = 100;
+
+/// Number of write-burst levels.
+pub const N_WBURST: usize = 4;
+
+/// Workload id of the single-app trickle probe.
+pub const TRICKLE_ID: usize = WBURST_ID_BASE + N_WBURST + 1;
+
+/// The write-burst level for a workload id (`101 → 1`), if it is one.
+pub fn wburst_level(id: usize) -> Option<usize> {
+    (WBURST_ID_BASE + 1..=WBURST_ID_BASE + N_WBURST)
+        .contains(&id)
+        .then(|| id - WBURST_ID_BASE)
+}
+
+/// Shorthand for the WB levels; the `paper_*` fields hold nominal targets
+/// (these apps have no Table II row) so intensity reporting stays sane.
+const fn wb(
+    name: &'static str,
+    mem_frac: f64,
+    w_mid: f64,
+    w_big: f64,
+    store_frac_big: f64,
+    burst: u32,
+    nominal_wpki: f64,
+) -> AppSpec {
+    AppSpec {
+        name,
+        mem_frac,
+        w_mid,
+        w_big,
+        mid_bytes: 1024 * 1024,
+        big_bytes: 8 * 1024 * 1024,
+        store_frac_hot: 0.3,
+        store_frac_mid: 1.0,
+        store_frac_big,
+        big_pattern: BigPattern::Stream,
+        burst,
+        scan_frac: 0.0,
+        scan_burst: 8,
+        alu_long_frac: 0.0,
+        alu_long_latency: 1,
+        paper_wpki: nominal_wpki,
+        paper_mpki: nominal_wpki,
+        paper_hitrate: 0.0,
+        paper_ipc: 0.4,
+    }
+}
+
+/// The four write-burst levels, WB1 (mild) → WB4 (saturating).
+pub const WBURST_TABLE: [AppSpec; 4] = [
+    wb("wburst1", 0.30, 0.02, 0.06, 0.50, 8, 15.0),
+    wb("wburst2", 0.33, 0.03, 0.10, 1.0, 16, 25.0),
+    wb("wburst3", 0.35, 0.04, 0.15, 1.0, 32, 35.0),
+    wb("wburst4", 0.35, 0.05, 0.22, 1.0, 64, 45.0),
+];
+
+/// The trickle probe: sparse, isolated misses that never *read* the L3
+/// data array.
+///
+/// `queue_cycles` counts read-side waiting only (posted-write semantics,
+/// DESIGN.md §12), so the structural guarantee this probe offers is
+/// *no L3 data-array reads at all*: every big-region access misses (a
+/// 512 MB random footprint against a single 2 MB bank makes a revisit
+/// while still resident vanishingly rare, and residency is a pure
+/// function of the address stream — independent of any timing change),
+/// misses pay only the SRAM tag check, and no store path exists anywhere
+/// (hot stores included — a dirty L1-resident line could otherwise ride
+/// an eviction into the L3). Zero reads → zero queue cycles, exactly,
+/// even under the asymmetric default.
+pub const TRICKLE: AppSpec = AppSpec {
+    name: "trickle",
+    mem_frac: 0.30,
+    w_mid: 0.0,
+    w_big: 0.002,
+    mid_bytes: 64 * 1024,
+    big_bytes: 512 * 1024 * 1024,
+    store_frac_hot: 0.0,
+    store_frac_mid: 0.0,
+    store_frac_big: 0.0,
+    big_pattern: BigPattern::Random,
+    burst: 1,
+    scan_frac: 0.0,
+    scan_burst: 8,
+    alu_long_frac: 0.0,
+    alu_long_latency: 1,
+    paper_wpki: 0.0,
+    paper_mpki: 0.6,
+    paper_hitrate: 0.0,
+    paper_ipc: 0.9,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WriteIntensity;
+
+    #[test]
+    fn all_wburst_specs_validate() {
+        for a in &WBURST_TABLE {
+            a.validate();
+        }
+        TRICKLE.validate();
+    }
+
+    #[test]
+    fn levels_escalate_write_pressure() {
+        for w in WBURST_TABLE.windows(2) {
+            assert!(w[0].w_big < w[1].w_big, "{}: w_big must grow", w[1].name);
+            assert!(w[0].burst < w[1].burst, "{}: burst must grow", w[1].name);
+            assert!(w[0].store_frac_big <= w[1].store_frac_big);
+        }
+    }
+
+    #[test]
+    fn wburst_is_high_intensity_and_trickle_is_low() {
+        for a in &WBURST_TABLE {
+            assert_eq!(a.paper_intensity(), WriteIntensity::High, "{}", a.name);
+        }
+        assert_eq!(TRICKLE.paper_intensity(), WriteIntensity::Low);
+    }
+
+    #[test]
+    fn trickle_cannot_write_the_l3() {
+        assert_eq!(TRICKLE.store_frac_hot, 0.0);
+        assert_eq!(TRICKLE.store_frac_mid, 0.0);
+        assert_eq!(TRICKLE.store_frac_big, 0.0);
+        assert_eq!(TRICKLE.burst, 1);
+        // Expected gap between big-region accesses, in instructions: far
+        // beyond any write latency the config validator would accept.
+        let gap = 1.0 / (TRICKLE.mem_frac * TRICKLE.w_big);
+        assert!(gap > 1_000.0, "misses too close together: every {gap:.0}");
+    }
+
+    #[test]
+    fn id_mapping() {
+        assert_eq!(wburst_level(100), None);
+        assert_eq!(wburst_level(101), Some(1));
+        assert_eq!(wburst_level(104), Some(4));
+        assert_eq!(wburst_level(105), None);
+        assert_eq!(TRICKLE_ID, 105);
+    }
+}

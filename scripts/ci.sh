@@ -43,6 +43,27 @@ if ! grep -qE '^\{"schema":"renuca-manifest-v1","binary":"fig3","label":"[^"]+",
 fi
 echo "manifest smoke OK ($(wc -c < "$MANIFEST") bytes)"
 
+echo "== bank-queue smoke: write bursts queue, the trickle probe does not =="
+# Under the asymmetric ReRAM default, the WB saturation study must observe
+# bank contention (nonzero read-side queue cycles somewhere in the grid),
+# while the single-core trickle probe — which never reads the L3 data
+# array — must report exactly zero. Both invariants live in DESIGN.md §12.
+RENUCA_WARMUP=2000 RENUCA_MEASURE=8000 \
+    ./target/release/wburst --stats "$MANIFEST" >/dev/null 2>&1
+if ! grep -qE '"llc\.queue_cycles_total":[1-9][0-9]*' "$MANIFEST"; then
+    echo "bank-queue smoke FAILED: wburst saw no queueing under asymmetric default"
+    head -c 400 "$MANIFEST"; echo
+    exit 1
+fi
+RENUCA_WARMUP=2000 RENUCA_MEASURE=8000 \
+    ./target/release/wburst --trickle --stats "$MANIFEST" >/dev/null 2>&1
+if ! grep -qE '"llc\.queue_cycles_total":0[,}]' "$MANIFEST"; then
+    echo "bank-queue smoke FAILED: trickle probe reported nonzero queue cycles"
+    head -c 400 "$MANIFEST"; echo
+    exit 1
+fi
+echo "bank-queue smoke OK"
+
 echo "== campaign smoke: run, crash, resume, verify, byte-compare =="
 CAMP_TMP="$(mktemp -d)"
 trap 'rm -f "$MANIFEST"; rm -rf "$CAMP_TMP"' EXIT
@@ -97,17 +118,17 @@ echo "bench smoke OK ($BENCH_N benches)"
 
 echo "== perf guard: end-to-end bench vs committed baseline =="
 # The end-to-end system bench must stay within 25% of the committed
-# baseline (BENCH_3.json, regenerated via scripts/bench_baseline.sh).
+# baseline (BENCH_4.json, regenerated via scripts/bench_baseline.sh).
 # min_ns is the stablest statistic under scheduler noise, but host-to-host
 # wall-time still varies; set RENUCA_SKIP_PERF_GUARD=1 when running CI on
 # a machine the baseline was not recorded on.
 GUARD_BENCH="system/16core_renuca_10k_instr"
 if [ "${RENUCA_SKIP_PERF_GUARD:-0}" = "1" ]; then
     echo "perf guard SKIPPED (RENUCA_SKIP_PERF_GUARD=1)"
-elif [ ! -f BENCH_3.json ]; then
-    echo "perf guard SKIPPED (no BENCH_3.json baseline)"
+elif [ ! -f BENCH_4.json ]; then
+    echo "perf guard SKIPPED (no BENCH_4.json baseline)"
 else
-    BASE_MIN="$(grep -o "{\"bench\":\"$GUARD_BENCH\"[^}]*}" BENCH_3.json \
+    BASE_MIN="$(grep -o "{\"bench\":\"$GUARD_BENCH\"[^}]*}" BENCH_4.json \
         | grep -o '"min_ns":[0-9.eE+-]*' | head -1 | cut -d: -f2)"
     LIVE_MIN="$(printf '%s\n' "$BENCH_OUT" \
         | grep -o "{\"bench\":\"$GUARD_BENCH\"[^}]*}" \

@@ -22,7 +22,14 @@ struct Outcome {
 
 fn run(scheme: Scheme) -> Outcome {
     // The full 16-core machine, one representative workload, short window.
-    let cfg = SystemConfig::default();
+    // The paper's published numbers come from a flat 100-cycle L3 bank
+    // (Table I, gem5 classic), so the shape claims are asserted on that
+    // machine: `with_symmetric_llc` maps the per-bank service model back
+    // to it exactly. The asymmetric ReRAM default is exercised by the
+    // write-burst saturation scenario (EXPERIMENTS.md) instead — under
+    // bank write-occupancy the schemes trade differently, which is the
+    // point of that study.
+    let cfg = SystemConfig::default().with_symmetric_llc();
     let wl = workload_mix(1, cfg.n_cores);
     let mut sys = System::new(
         cfg,

@@ -36,11 +36,7 @@ fn cache_capacity_and_uniqueness() {
         let ops: Vec<(u64, bool)> = (0..n_ops)
             .map(|_| (rng.gen_bounded(512), rng.gen_bool(0.5)))
             .collect();
-        let geo = CacheGeometry {
-            size_bytes: 4096,
-            assoc: 4,
-            latency: 1,
-        }; // 64 lines
+        let geo = CacheGeometry::symmetric(4096, 4, 1); // 64 lines
         let mut cache = SetAssocCache::new(geo, false);
         let mut resident: std::collections::HashSet<u64> = Default::default();
         for (line, is_write) in ops {
