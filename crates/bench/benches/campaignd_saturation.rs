@@ -1,0 +1,162 @@
+//! Throughput of the `campaignd` service under concurrent tenants.
+//!
+//! For each tenant count (1, 4, 16) this target starts a fresh in-process
+//! daemon with a *fixed* worker pool, drives it from one client thread per
+//! tenant (each submitting several small campaigns and polling to
+//! completion), and reports end-to-end jobs/second — protocol handling,
+//! fair-queue scheduling, journal fsyncs, manifest writes and report
+//! rendering all included. With the worker pool pinned, the tenant sweep
+//! isolates the *service* overhead of multi-tenancy: jobs/sec should stay
+//! roughly flat from 1 → 16 tenants, since the simulation work is
+//! identical and only connection count and queue bookkeeping grow.
+//!
+//! Emits one `renuca-bench-daemon-v1` JSON line; the committed baseline
+//! is `BENCH_DAEMON_1.json` (schema in `EXPERIMENTS.md`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use campaign::serve::{Client, Daemon, DaemonConfig, Msg};
+
+/// 1 threshold × 2 schemes × 2 mixes = 4 jobs per campaign.
+const SPEC: &str = "\
+renuca-campaign-v1
+name satkit
+config small 4
+budget warmup=50 measure=300
+schemes S-NUCA Re-NUCA
+workloads 1 2
+thresholds 25
+";
+
+const WORKERS: usize = 4;
+const CAMPAIGNS_PER_TENANT: usize = 2;
+const GRID_PER_CAMPAIGN: usize = 4;
+const TENANT_COUNTS: [usize; 3] = [1, 4, 16];
+
+struct SaturationPoint {
+    tenants: usize,
+    jobs: usize,
+    elapsed_s: f64,
+    jobs_per_sec: f64,
+    busy_retries: usize,
+}
+
+/// Drive one daemon instance with `tenants` concurrent clients.
+fn run_point(tenants: usize) -> SaturationPoint {
+    let root = std::env::temp_dir().join(format!("campaignd-sat-{}-{tenants}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut config = DaemonConfig::for_root(root.clone());
+    config.workers = WORKERS;
+    config.max_pending_jobs = 4096;
+    config.max_pending_per_tenant = 1024;
+    let daemon = Daemon::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = daemon.local_addr().expect("local addr").to_string();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let handle = std::thread::spawn(move || daemon.run(flag));
+
+    let start = Instant::now();
+    let busy_total: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..tenants)
+            .map(|t| {
+                let addr = addr.clone();
+                scope.spawn(move || drive_tenant(&addr, t))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant thread"))
+            .sum()
+    });
+    let elapsed = start.elapsed();
+
+    shutdown.store(true, Ordering::SeqCst);
+    handle.join().expect("daemon thread").expect("daemon run");
+    let _ = std::fs::remove_dir_all(&root);
+
+    let jobs = tenants * CAMPAIGNS_PER_TENANT * GRID_PER_CAMPAIGN;
+    let elapsed_s = elapsed.as_secs_f64().max(1e-9);
+    SaturationPoint {
+        tenants,
+        jobs,
+        elapsed_s,
+        jobs_per_sec: jobs as f64 / elapsed_s,
+        busy_retries: busy_total,
+    }
+}
+
+/// One tenant: submit its campaigns (honouring BUSY backoff), then poll
+/// status until every one has a durable report. Returns busy-retry count.
+fn drive_tenant(addr: &str, index: usize) -> usize {
+    let tenant = format!("t{index}");
+    let mut client =
+        Client::connect_retry(addr, &tenant, Duration::from_secs(10)).expect("connect");
+    let mut busy = 0;
+    let mut names = Vec::new();
+    for k in 0..CAMPAIGNS_PER_TENANT {
+        let name = format!("sat-{index}-{k}");
+        let text = SPEC.replace("name satkit", &format!("name {name}"));
+        loop {
+            match client.submit(&text).expect("submit") {
+                Msg::Submitted { grid, .. } => {
+                    assert_eq!(grid, GRID_PER_CAMPAIGN);
+                    names.push(name.clone());
+                    break;
+                }
+                Msg::Busy { retry_ms, .. } => {
+                    busy += 1;
+                    std::thread::sleep(Duration::from_millis(retry_ms.clamp(10, 500)));
+                }
+                other => panic!("unexpected submit reply: {other:?}"),
+            }
+        }
+    }
+    loop {
+        let (campaigns, _) = client.status(None).expect("status");
+        let complete = names
+            .iter()
+            .filter(|n| campaigns.iter().any(|c| &&c.name == n && c.report))
+            .count();
+        if complete == names.len() {
+            return busy;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn main() {
+    println!(
+        "=== campaignd saturation: {WORKERS} workers, {CAMPAIGNS_PER_TENANT} campaigns \
+         x {GRID_PER_CAMPAIGN} jobs per tenant ==="
+    );
+    let mut results = Vec::new();
+    for &tenants in &TENANT_COUNTS {
+        let p = run_point(tenants);
+        println!(
+            "tenants={:<3} jobs={:<4} elapsed={:.3}s throughput={:.2} jobs/s \
+             (busy retries: {})",
+            p.tenants, p.jobs, p.elapsed_s, p.jobs_per_sec, p.busy_retries
+        );
+        results.push(p);
+    }
+    // One machine-readable line, mirrored into BENCH_DAEMON_1.json.
+    let points: Vec<String> = results
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"tenants\":{},\"jobs\":{},\"elapsed_s\":{:.6},\
+                 \"jobs_per_sec\":{:.3},\"busy_retries\":{}}}",
+                p.tenants, p.jobs, p.elapsed_s, p.jobs_per_sec, p.busy_retries
+            )
+        })
+        .collect();
+    println!(
+        "{{\"schema\":\"renuca-bench-daemon-v1\",\
+         \"source\":\"cargo bench -p bench --bench campaignd_saturation\",\
+         \"workers\":{WORKERS},\"campaigns_per_tenant\":{CAMPAIGNS_PER_TENANT},\
+         \"grid_per_campaign\":{GRID_PER_CAMPAIGN},\"results\":[{}]}}",
+        points.join(",")
+    );
+}

@@ -161,9 +161,14 @@ fn status(spec: &CampaignSpec, cli: &Cli) -> Result<ExitCode, String> {
         s.failed_attempts,
         if s.report_exists { "written" } else { "absent" }
     );
-    for (key, attempts, payload) in &s.quarantined {
-        let line = payload.lines().next().unwrap_or("");
-        println!("  quarantined {key} after {attempts} attempts: {line}");
+    for (id, key, attempts, payload) in &s.quarantined {
+        println!("  quarantined {id} ({key}) after {attempts} attempts; panic payload:");
+        if payload.is_empty() {
+            println!("    <empty payload>");
+        }
+        for line in payload.lines() {
+            println!("    {line}");
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -1,0 +1,377 @@
+//! `campaign-client`: command-line client for `campaignd`.
+//!
+//! ```text
+//! campaign-client submit  <spec.campaign> --addr A --tenant T [--rename NAME]
+//! campaign-client status  [CAMPAIGN]      --addr A --tenant T
+//! campaign-client watch   <CAMPAIGN>      --addr A --tenant T [--timeout-s S]
+//! campaign-client loadgen <spec.campaign> --addr A --tenants N --repeat K
+//!                                         [--tenant-prefix P] [--timeout-s S]
+//! campaign-client ping                    --addr A --tenant T
+//! ```
+//!
+//! Exit codes: 0 success, 2 usage, 4 `BUSY` (submit only), 1 anything
+//! else. `watch` subscribes and exits when the campaign's report is
+//! durable. `loadgen` drives N tenants from N threads, each submitting K
+//! uniquely renamed copies of the spec, honouring `BUSY` backoff, and
+//! prints aggregate throughput.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use campaign::serve::proto::{CampaignStatus, QuarantineStatus};
+use campaign::serve::{Client, Event, Msg};
+
+const USAGE: &str = "\
+usage: campaign-client submit  <spec.campaign> --addr A --tenant T [--rename NAME]
+       campaign-client status  [CAMPAIGN]      --addr A --tenant T
+       campaign-client watch   <CAMPAIGN>      --addr A --tenant T [--timeout-s S]
+       campaign-client loadgen <spec.campaign> --addr A --tenants N --repeat K
+                                               [--tenant-prefix P] [--timeout-s S]
+       campaign-client ping                    --addr A --tenant T";
+
+#[derive(Default)]
+struct Cli {
+    command: String,
+    positional: Option<String>,
+    addr: String,
+    tenant: String,
+    rename: Option<String>,
+    tenants: usize,
+    repeat: usize,
+    tenant_prefix: String,
+    timeout_s: u64,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        tenant: "default".to_string(),
+        tenants: 4,
+        repeat: 1,
+        tenant_prefix: "load".to_string(),
+        timeout_s: 600,
+        ..Cli::default()
+    };
+    let mut args = std::env::args().skip(1);
+    cli.command = args.next().ok_or("missing command")?;
+    if !matches!(
+        cli.command.as_str(),
+        "submit" | "status" | "watch" | "loadgen" | "ping"
+    ) {
+        return Err(format!("unknown command {:?}", cli.command));
+    }
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--addr" => cli.addr = value("--addr")?,
+            "--tenant" => cli.tenant = value("--tenant")?,
+            "--rename" => cli.rename = Some(value("--rename")?),
+            "--tenants" => {
+                let v = value("--tenants")?;
+                cli.tenants = v.parse().map_err(|_| format!("bad tenant count {v:?}"))?;
+            }
+            "--repeat" => {
+                let v = value("--repeat")?;
+                cli.repeat = v.parse().map_err(|_| format!("bad repeat count {v:?}"))?;
+            }
+            "--tenant-prefix" => cli.tenant_prefix = value("--tenant-prefix")?,
+            "--timeout-s" => {
+                let v = value("--timeout-s")?;
+                cli.timeout_s = v.parse().map_err(|_| format!("bad timeout {v:?}"))?;
+            }
+            other if !other.starts_with("--") && cli.positional.is_none() => {
+                cli.positional = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if cli.addr.is_empty() {
+        return Err("missing --addr <host:port>".into());
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cli.command.as_str() {
+        "submit" => submit(&cli),
+        "status" => status(&cli),
+        "watch" => watch(&cli),
+        "loadgen" => loadgen(&cli),
+        "ping" => ping(&cli),
+        _ => unreachable!(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_spec(cli: &Cli) -> Result<String, String> {
+    let path = cli
+        .positional
+        .as_deref()
+        .ok_or("missing <spec.campaign> argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    match &cli.rename {
+        Some(name) => rename_spec(&text, name),
+        None => Ok(text),
+    }
+}
+
+/// Rewrite the `name` directive of a spec (used by `--rename` and by
+/// loadgen to make each submitted copy a distinct campaign).
+fn rename_spec(text: &str, new_name: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(text.len());
+    let mut renamed = false;
+    for line in text.lines() {
+        if !renamed && line.trim_start().starts_with("name ") {
+            out.push_str(&format!("name {new_name}\n"));
+            renamed = true;
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if !renamed {
+        return Err("spec has no `name` directive to rename".into());
+    }
+    Ok(out)
+}
+
+fn submit(cli: &Cli) -> Result<ExitCode, String> {
+    let spec_text = read_spec(cli)?;
+    let mut client = Client::connect(&cli.addr, &cli.tenant)?;
+    match client.submit(&spec_text)? {
+        Msg::Submitted {
+            campaign,
+            fingerprint,
+            grid,
+            pending,
+            report,
+        } => {
+            println!(
+                "submitted {campaign} (fingerprint {fingerprint:016x}): \
+                 grid {grid}, pending {pending}, report {}",
+                if report { "written" } else { "absent" }
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Msg::Busy { reason, retry_ms } => {
+            println!("busy: {reason}; retry in {retry_ms} ms");
+            Ok(ExitCode::from(4))
+        }
+        _ => unreachable!("submit() filters replies"),
+    }
+}
+
+fn print_status(campaigns: &[CampaignStatus], quarantines: &[QuarantineStatus]) {
+    for c in campaigns {
+        println!(
+            "campaign {}: {}/{} done, {} quarantined, {} pending, report {}",
+            c.name,
+            c.done,
+            c.grid,
+            c.quarantined,
+            c.pending,
+            if c.report { "written" } else { "absent" }
+        );
+    }
+    for q in quarantines {
+        println!(
+            "  quarantined {} ({}) after {} attempts; panic payload:",
+            q.id, q.campaign, q.attempts
+        );
+        if q.payload.is_empty() {
+            println!("    <empty payload>");
+        }
+        for line in q.payload.lines() {
+            println!("    {line}");
+        }
+    }
+}
+
+fn status(cli: &Cli) -> Result<ExitCode, String> {
+    let mut client = Client::connect(&cli.addr, &cli.tenant)?;
+    let (campaigns, quarantines) = client.status(cli.positional.as_deref())?;
+    if campaigns.is_empty() {
+        println!("no campaigns for tenant {}", cli.tenant);
+    }
+    print_status(&campaigns, &quarantines);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn watch(cli: &Cli) -> Result<ExitCode, String> {
+    let campaign = cli
+        .positional
+        .as_deref()
+        .ok_or("missing <CAMPAIGN> argument")?;
+    let deadline = Instant::now() + Duration::from_secs(cli.timeout_s);
+    let mut client = Client::connect(&cli.addr, &cli.tenant)?;
+    let (campaigns, quarantines) = client.subscribe(Some(campaign))?;
+    print_status(&campaigns, &quarantines);
+    if campaigns.iter().any(|c| c.name == campaign && c.report) {
+        println!("complete: {campaign}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(format!("timed out waiting for {campaign}"));
+        }
+        match client.recv_timeout(deadline - now)? {
+            None => return Err(format!("timed out waiting for {campaign}")),
+            Some(Msg::Event(e)) => match e {
+                Event::JobDone { id, key, .. } => println!("done {id} ({key})"),
+                Event::JobQuarantined { id, attempts, .. } => {
+                    println!("quarantined {id} after {attempts} attempts")
+                }
+                Event::CampaignComplete {
+                    campaign: name,
+                    completed,
+                    quarantined,
+                    report,
+                } => {
+                    println!(
+                        "complete: {name} ({completed} done, {quarantined} quarantined, \
+                         report {report})"
+                    );
+                    return Ok(ExitCode::SUCCESS);
+                }
+            },
+            Some(other) => return Err(format!("unexpected message: {other:?}")),
+        }
+    }
+}
+
+fn ping(cli: &Cli) -> Result<ExitCode, String> {
+    let mut client = Client::connect(&cli.addr, &cli.tenant)?;
+    let start = Instant::now();
+    client.ping(0x5eed)?;
+    println!("pong in {:?}", start.elapsed());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Per-thread loadgen result.
+struct LoadStats {
+    jobs: usize,
+    campaigns: usize,
+    busy_retries: usize,
+}
+
+fn loadgen(cli: &Cli) -> Result<ExitCode, String> {
+    let spec_text = read_spec(cli)?;
+    let base = campaign::CampaignSpec::parse(&spec_text)?;
+    if cli.tenants == 0 || cli.repeat == 0 {
+        return Err("--tenants and --repeat must be positive".into());
+    }
+    let deadline = Duration::from_secs(cli.timeout_s);
+    let start = Instant::now();
+    let results: Vec<Result<LoadStats, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cli.tenants)
+            .map(|t| {
+                let tenant = format!("{}{t}", cli.tenant_prefix);
+                let base_name = base.name.clone();
+                let spec_text = spec_text.clone();
+                scope.spawn(move || {
+                    drive_tenant(
+                        &cli.addr, &tenant, &base_name, &spec_text, cli.repeat, deadline,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("loadgen thread panicked".into()))
+            })
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let mut jobs = 0;
+    let mut campaigns = 0;
+    let mut busy = 0;
+    for r in results {
+        let s = r?;
+        jobs += s.jobs;
+        campaigns += s.campaigns;
+        busy += s.busy_retries;
+    }
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "loadgen: {campaigns} campaigns / {jobs} jobs across {} tenants in {:.2}s \
+         ({:.2} jobs/s, {busy} busy retries)",
+        cli.tenants,
+        secs,
+        jobs as f64 / secs
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One loadgen tenant: submit `repeat` renamed copies (honouring BUSY
+/// backoff), then poll status until all of them have durable reports.
+fn drive_tenant(
+    addr: &str,
+    tenant: &str,
+    base_name: &str,
+    spec_text: &str,
+    repeat: usize,
+    deadline: Duration,
+) -> Result<LoadStats, String> {
+    let start = Instant::now();
+    let mut client = Client::connect_retry(addr, tenant, Duration::from_secs(5))?;
+    let mut names = Vec::with_capacity(repeat);
+    let mut jobs = 0usize;
+    let mut busy_retries = 0usize;
+    for k in 0..repeat {
+        let name = format!("{base_name}-{tenant}-{k}");
+        let text = rename_spec(spec_text, &name)?;
+        loop {
+            if start.elapsed() > deadline {
+                return Err(format!("{tenant}: timed out submitting {name}"));
+            }
+            match client.submit(&text)? {
+                Msg::Submitted { grid, .. } => {
+                    jobs += grid;
+                    names.push(name.clone());
+                    break;
+                }
+                Msg::Busy { retry_ms, .. } => {
+                    busy_retries += 1;
+                    std::thread::sleep(Duration::from_millis(retry_ms.clamp(10, 2000)));
+                }
+                _ => unreachable!("submit() filters replies"),
+            }
+        }
+    }
+    loop {
+        if start.elapsed() > deadline {
+            return Err(format!("{tenant}: timed out waiting for completion"));
+        }
+        let (campaigns, _) = client.status(None)?;
+        let complete = names
+            .iter()
+            .filter(|n| campaigns.iter().any(|c| &&c.name == n && c.report))
+            .count();
+        if complete == names.len() {
+            return Ok(LoadStats {
+                jobs,
+                campaigns: names.len(),
+                busy_retries,
+            });
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}

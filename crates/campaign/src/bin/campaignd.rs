@@ -1,0 +1,138 @@
+//! `campaignd`: the multi-tenant campaign daemon.
+//!
+//! ```text
+//! campaignd --listen <addr> --root <dir> [--workers N] [--max-pending J]
+//!           [--tenant-quota J] [--quantum Q]
+//! ```
+//!
+//! Serves the `renuca-campaignd-v1` protocol (`docs/protocol.md`) until
+//! killed. `kill -9` is always safe: all durable state is journalled, and
+//! the next start recovers and resumes every incomplete campaign under
+//! `--root`. The operator runbook is `docs/OPERATIONS.md`.
+//!
+//! With `--listen 127.0.0.1:0` the kernel picks the port; the chosen
+//! address is printed on the first stdout line
+//! (`campaignd listening on <addr> ...`), which scripts parse.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use campaign::serve::{Daemon, DaemonConfig};
+
+const USAGE: &str = "\
+usage: campaignd --listen <addr> --root <dir> [--workers N]
+                 [--max-pending J] [--tenant-quota J] [--quantum Q]";
+
+struct Cli {
+    listen: String,
+    config: DaemonConfig,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut listen: Option<String> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut workers: Option<usize> = None;
+    let mut max_pending: Option<usize> = None;
+    let mut tenant_quota: Option<usize> = None;
+    let mut quantum: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--listen" => listen = Some(value("--listen")?),
+            "--root" => root = Some(PathBuf::from(value("--root")?)),
+            "--workers" => {
+                let v = value("--workers")?;
+                workers = Some(v.parse().map_err(|_| format!("bad worker count {v:?}"))?);
+            }
+            "--max-pending" => {
+                let v = value("--max-pending")?;
+                let k: usize = v.parse().map_err(|_| format!("bad job bound {v:?}"))?;
+                if k == 0 {
+                    return Err("--max-pending must be positive".into());
+                }
+                max_pending = Some(k);
+            }
+            "--tenant-quota" => {
+                let v = value("--tenant-quota")?;
+                let k: usize = v.parse().map_err(|_| format!("bad job bound {v:?}"))?;
+                if k == 0 {
+                    return Err("--tenant-quota must be positive".into());
+                }
+                tenant_quota = Some(k);
+            }
+            "--quantum" => {
+                let v = value("--quantum")?;
+                quantum = Some(v.parse().map_err(|_| format!("bad quantum {v:?}"))?);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let mut config = DaemonConfig::for_root(root.ok_or("missing --root <dir>")?);
+    if let Some(w) = workers {
+        config.workers = w;
+    }
+    if let Some(j) = max_pending {
+        config.max_pending_jobs = j;
+    }
+    if let Some(j) = tenant_quota {
+        config.max_pending_per_tenant = j;
+    }
+    if let Some(q) = quantum {
+        config.quantum = q;
+    }
+    Ok(Cli {
+        listen: listen.ok_or("missing --listen <addr>")?,
+        config,
+    })
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = cli.config.root.clone();
+    let workers = cli.config.workers;
+    let daemon = match Daemon::bind(&cli.listen, cli.config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: bind {}: {e}", cli.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    match daemon.local_addr() {
+        Ok(addr) => {
+            // First stdout line is machine-parsed by scripts/ci.sh and
+            // the integration tests; keep its shape stable.
+            println!(
+                "campaignd listening on {addr} (root {}, workers {workers})",
+                root.display()
+            );
+            // The poll loop never writes stdout again; make sure the
+            // line is visible to a pipe reader immediately.
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("error: local_addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let shutdown = Arc::new(AtomicBool::new(false));
+    match daemon.run(shutdown) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

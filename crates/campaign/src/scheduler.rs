@@ -194,6 +194,32 @@ enum JobResult {
     NotScheduled,
 }
 
+/// What [`execute_one`] proved about a job — enough detail for the daemon
+/// to stream completion events without re-reading the journal.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// The job completed; its manifest and `done` record are durable.
+    Done {
+        /// Job id.
+        id: String,
+        /// Canonical job key.
+        key: String,
+        /// Manifest path relative to the campaign dir.
+        manifest: String,
+    },
+    /// The job exhausted its retries; the `quarantine` record is durable.
+    Quarantined {
+        /// Job id.
+        id: String,
+        /// Canonical job key.
+        key: String,
+        /// Attempts made.
+        attempts: u32,
+        /// Panic payload of the last attempt.
+        payload: String,
+    },
+}
+
 /// Execute (or resume) a campaign shard. Idempotent: completed work is
 /// skipped, interrupted work is redone, and the final report is written by
 /// whichever invocation covers the last cell of the grid.
@@ -239,7 +265,10 @@ pub fn run(spec: &CampaignSpec, dir: &Path, opts: RunOptions) -> Result<RunOutco
         if stop.load(Ordering::SeqCst) {
             return JobResult::NotScheduled;
         }
-        let result = execute_job(spec, dir, job, &journal);
+        let result = match execute_one(spec, dir, job, &journal) {
+            JobOutcome::Done { .. } => JobResult::Done,
+            JobOutcome::Quarantined { .. } => JobResult::Quarantined,
+        };
         let finished = completed.fetch_add(1, Ordering::SeqCst) + 1;
         if opts.max_jobs.is_some_and(|k| finished >= k) {
             stop.store(true, Ordering::SeqCst);
@@ -284,7 +313,18 @@ pub fn run(spec: &CampaignSpec, dir: &Path, opts: RunOptions) -> Result<RunOutco
 
 /// Run one job to completion or quarantine. Returns after appending the
 /// final `done`/`quarantine` record for it.
-fn execute_job(spec: &CampaignSpec, dir: &Path, job: &Job, journal: &Mutex<Journal>) -> JobResult {
+///
+/// This is *the* job execution path: the batch scheduler ([`run`]) and
+/// the daemon (`serve::daemon`) both call it, so retries, backoff,
+/// quarantine capture and journal framing are identical no matter which
+/// front end drove the campaign — which is what makes daemon-produced
+/// reports byte-identical to CLI-produced ones.
+pub fn execute_one(
+    spec: &CampaignSpec,
+    dir: &Path,
+    job: &Job,
+    journal: &Mutex<Journal>,
+) -> JobOutcome {
     let id = job.id(&spec.name);
     let injected = spec.injected_failures(job.workload);
     let mut last_payload = String::new();
@@ -300,7 +340,7 @@ fn execute_job(spec: &CampaignSpec, dir: &Path, job: &Job, journal: &Mutex<Journ
         match outcome {
             Ok(fnv) => {
                 let record = Record::Done {
-                    id,
+                    id: id.clone(),
                     manifest: job.manifest_rel(&spec.name),
                     fnv,
                     key: job.key(),
@@ -310,7 +350,11 @@ fn execute_job(spec: &CampaignSpec, dir: &Path, job: &Job, journal: &Mutex<Journ
                     .unwrap()
                     .append(&record)
                     .expect("journal append");
-                return JobResult::Done;
+                return JobOutcome::Done {
+                    id,
+                    key: job.key(),
+                    manifest: job.manifest_rel(&spec.name),
+                };
             }
             Err(payload) => {
                 last_payload = panic_text(payload.as_ref());
@@ -336,16 +380,21 @@ fn execute_job(spec: &CampaignSpec, dir: &Path, job: &Job, journal: &Mutex<Journ
         }
     }
     let record = Record::Quarantine {
-        id,
+        id: id.clone(),
         attempts: spec.max_attempts(),
-        payload: last_payload,
+        payload: last_payload.clone(),
     };
     journal
         .lock()
         .unwrap()
         .append(&record)
         .expect("journal append");
-    JobResult::Quarantined
+    JobOutcome::Quarantined {
+        id,
+        key: job.key(),
+        attempts: spec.max_attempts(),
+        payload: last_payload,
+    }
 }
 
 /// Simulate one grid cell, write its `renuca-manifest-v1` atomically, and
@@ -394,8 +443,10 @@ pub struct StatusSummary {
     pub grid: usize,
     /// Jobs proven done.
     pub done: usize,
-    /// Jobs quarantined, with `(key, attempts, payload)`.
-    pub quarantined: Vec<(String, u32, String)>,
+    /// Jobs quarantined, with `(id, key, attempts, payload)`. The id and
+    /// full panic payload are surfaced so `campaign status` (and the
+    /// daemon's status reply) point straight at the failing cell.
+    pub quarantined: Vec<(String, String, u32, String)>,
     /// Failed attempts recorded across all invocations.
     pub failed_attempts: usize,
     /// Whether `report.json` exists in the out dir.
@@ -408,8 +459,9 @@ pub fn status(spec: &CampaignSpec, dir: &Path) -> Result<StatusSummary, String> 
     let jobs = spec.jobs();
     let mut quarantined = Vec::new();
     for job in &jobs {
-        if let Some((attempts, payload)) = state.quarantine_of(&job.id(&spec.name)) {
-            quarantined.push((job.key(), attempts, payload.to_string()));
+        let id = job.id(&spec.name);
+        if let Some((attempts, payload)) = state.quarantine_of(&id) {
+            quarantined.push((id, job.key(), attempts, payload.to_string()));
         }
     }
     Ok(StatusSummary {

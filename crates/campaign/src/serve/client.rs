@@ -1,0 +1,209 @@
+//! Blocking client for the `renuca-campaignd-v1` protocol.
+//!
+//! A thin, synchronous wrapper over one TCP connection: frame I/O,
+//! `hello` negotiation, and request/reply helpers. The `campaign-client`
+//! binary, the integration tests and the saturation bench all drive the
+//! daemon through this type, so the client-side grammar lives in exactly
+//! one place.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use super::frame::{decode_frame, encode_frame, Decoded, PROTO_ID};
+use super::proto::{CampaignStatus, Event, Msg, QuarantineStatus};
+
+/// One authenticated-by-declaration connection to a campaign daemon.
+pub struct Client {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect and complete the `hello` handshake as `tenant`.
+    pub fn connect(addr: &str, tenant: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client {
+            stream,
+            inbuf: Vec::new(),
+        };
+        client.send(&Msg::Hello {
+            proto: PROTO_ID.to_string(),
+            tenant: tenant.to_string(),
+        })?;
+        match client.recv()? {
+            Msg::HelloOk { .. } => Ok(client),
+            Msg::Error { code, msg } => Err(format!("hello refused: {} {msg}", code.as_str())),
+            other => Err(format!("unexpected hello reply: {other:?}")),
+        }
+    }
+
+    /// [`connect`](Client::connect), retrying until `deadline` elapses —
+    /// for racing a daemon that is still binding its socket.
+    pub fn connect_retry(addr: &str, tenant: &str, deadline: Duration) -> Result<Client, String> {
+        let start = Instant::now();
+        loop {
+            match Client::connect(addr, tenant) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Send one message.
+    pub fn send(&mut self, msg: &Msg) -> Result<(), String> {
+        let (t, payload) = msg.encode();
+        self.stream
+            .write_all(&encode_frame(t, &payload))
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    /// Receive the next message, blocking indefinitely.
+    pub fn recv(&mut self) -> Result<Msg, String> {
+        self.stream
+            .set_read_timeout(None)
+            .map_err(|e| e.to_string())?;
+        match self.recv_inner()? {
+            Some(msg) => Ok(msg),
+            None => Err("connection closed".to_string()),
+        }
+    }
+
+    /// Receive the next message, or `None` after `timeout` of silence.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Msg>, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(msg) = self.try_decode()? {
+                return Ok(Some(msg));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            self.stream
+                .set_read_timeout(Some(deadline - now))
+                .map_err(|e| e.to_string())?;
+            let mut chunk = [0u8; 16384];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err("connection closed".to_string()),
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(None)
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("recv: {e}")),
+            }
+        }
+    }
+
+    fn recv_inner(&mut self) -> Result<Option<Msg>, String> {
+        loop {
+            if let Some(msg) = self.try_decode()? {
+                return Ok(Some(msg));
+            }
+            let mut chunk = [0u8; 16384];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("recv: {e}")),
+            }
+        }
+    }
+
+    /// Decode one frame off the input buffer, if a whole one is present.
+    fn try_decode(&mut self) -> Result<Option<Msg>, String> {
+        match decode_frame(&self.inbuf) {
+            Decoded::Incomplete { .. } => Ok(None),
+            Decoded::Corrupt(e) => Err(format!("corrupt frame from daemon: {e}")),
+            Decoded::Frame {
+                msg_type,
+                payload,
+                consumed,
+            } => {
+                self.inbuf.drain(..consumed);
+                Msg::decode(msg_type, &payload)
+                    .map(Some)
+                    .ok_or_else(|| format!("daemon sent unparseable type 0x{msg_type:02x}"))
+            }
+        }
+    }
+
+    /// Submit a spec. Returns the daemon's answer: `Submitted`, `Busy`,
+    /// or an error turned into `Err`.
+    pub fn submit(&mut self, spec_text: &str) -> Result<Msg, String> {
+        self.send(&Msg::Submit {
+            spec_text: spec_text.to_string(),
+        })?;
+        match self.recv()? {
+            reply @ (Msg::Submitted { .. } | Msg::Busy { .. }) => Ok(reply),
+            Msg::Error { code, msg } => Err(format!("submit refused: {} {msg}", code.as_str())),
+            other => Err(format!("unexpected submit reply: {other:?}")),
+        }
+    }
+
+    /// Fetch a status snapshot (all campaigns, or one).
+    pub fn status(
+        &mut self,
+        campaign: Option<&str>,
+    ) -> Result<(Vec<CampaignStatus>, Vec<QuarantineStatus>), String> {
+        self.send(&Msg::Status {
+            campaign: campaign.map(str::to_string),
+        })?;
+        // A subscribed connection may have events queued ahead of the
+        // reply; skip them (status is usually used unsubscribed).
+        loop {
+            match self.recv()? {
+                Msg::StatusReply {
+                    campaigns,
+                    quarantines,
+                } => return Ok((campaigns, quarantines)),
+                Msg::Event(_) => continue,
+                Msg::Error { code, msg } => {
+                    return Err(format!("status refused: {} {msg}", code.as_str()))
+                }
+                other => return Err(format!("unexpected status reply: {other:?}")),
+            }
+        }
+    }
+
+    /// Subscribe to completion events; returns the initial snapshot.
+    pub fn subscribe(
+        &mut self,
+        campaign: Option<&str>,
+    ) -> Result<(Vec<CampaignStatus>, Vec<QuarantineStatus>), String> {
+        self.send(&Msg::Subscribe {
+            campaign: campaign.map(str::to_string),
+        })?;
+        match self.recv()? {
+            Msg::StatusReply {
+                campaigns,
+                quarantines,
+            } => Ok((campaigns, quarantines)),
+            Msg::Error { code, msg } => Err(format!("subscribe refused: {} {msg}", code.as_str())),
+            other => Err(format!("unexpected subscribe reply: {other:?}")),
+        }
+    }
+
+    /// Block for the next pushed event (requires a prior subscribe).
+    pub fn next_event(&mut self) -> Result<Event, String> {
+        match self.recv()? {
+            Msg::Event(e) => Ok(e),
+            other => Err(format!("expected event, got {other:?}")),
+        }
+    }
+
+    /// Round-trip a ping.
+    pub fn ping(&mut self, token: u64) -> Result<(), String> {
+        self.send(&Msg::Ping { token })?;
+        match self.recv()? {
+            Msg::Pong { token: t } if t == token => Ok(()),
+            other => Err(format!("bad pong: {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,901 @@
+//! `campaignd`: the long-running, multi-tenant campaign service.
+//!
+//! One thread owns everything non-simulating: a nonblocking
+//! accept/read/write poll loop over all client connections, the
+//! deficit-round-robin job queue, and per-campaign bookkeeping. Worker
+//! threads pull one job at a time off an MPSC channel, run it through
+//! [`scheduler::execute_one`] — the *same* retry/quarantine/journal path
+//! the `campaign` CLI uses — and report completions back over a channel.
+//! That sharing is the point: a report produced through the daemon is
+//! byte-identical to `campaign run` on the same spec, and `kill -9` at
+//! any instant leaves journals the next daemon start (or the CLI) resumes
+//! from.
+//!
+//! Durable state lives under the daemon root as
+//! `<root>/<tenant>/<campaign>/`: the submitted `spec.campaign` (written
+//! atomically *before* the submission is acknowledged), the CRC-framed
+//! journal, per-job manifests and the final `report.json`. Startup scans
+//! the root and re-enqueues every incomplete campaign — crash recovery
+//! needs no client involvement.
+//!
+//! Admission control is strict and stateless-on-refusal: a `SUBMIT` that
+//! would exceed the global or per-tenant queued-job bound is answered
+//! with `BUSY` and leaves nothing behind — no directory, no journal, no
+//! queue entry. Saturation is flow-controlled, never silent.
+
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use experiments::obs::atomic_write;
+
+use crate::journal::{Journal, Record};
+use crate::report;
+use crate::scheduler::{self, execute_one, load_state, JobOutcome};
+use crate::spec::{CampaignSpec, Job};
+
+use super::frame::{decode_frame, encode_frame, Decoded, MAX_PAYLOAD, PROTO_ID};
+use super::proto::{valid_name, CampaignStatus, ErrorCode, Event, Msg, QuarantineStatus};
+use super::queue::FairQueue;
+
+/// Tunables of one daemon instance.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// State root; campaigns live at `<root>/<tenant>/<campaign>/`.
+    pub root: PathBuf,
+    /// Simulation worker threads. `0` is a valid drain/test mode: the
+    /// daemon accepts, queues and answers, but executes nothing.
+    pub workers: usize,
+    /// Global bound on queued (not yet dispatched) jobs.
+    pub max_pending_jobs: usize,
+    /// Per-tenant bound on queued jobs.
+    pub max_pending_per_tenant: usize,
+    /// DRR credit quantum in instruction units (see `serve::queue`).
+    pub quantum: u64,
+}
+
+impl DaemonConfig {
+    /// Defaults for a given state root: one worker per hardware thread
+    /// (respecting `RENUCA_THREADS`), 4096 queued jobs globally, 1024 per
+    /// tenant, quantum 1 (finest-grained fairness).
+    pub fn for_root(root: PathBuf) -> DaemonConfig {
+        DaemonConfig {
+            root,
+            workers: experiments::pool::default_threads(),
+            max_pending_jobs: 4096,
+            max_pending_per_tenant: 1024,
+            quantum: 1,
+        }
+    }
+}
+
+/// Suggested client backoff carried in `BUSY` replies.
+const BUSY_RETRY_MS: u64 = 200;
+
+/// A subscriber that cannot drain its socket is disconnected once its
+/// buffered output exceeds this (protocol §5).
+const MAX_OUTBUF: usize = 4 << 20;
+
+/// Idle-loop sleep. The poll loop only sleeps when an iteration made no
+/// progress at all, so this bounds added latency, not throughput.
+const IDLE_SLEEP: Duration = Duration::from_millis(1);
+
+/// Everything the workers need to run one campaign's jobs.
+struct CampaignRuntime {
+    tenant: String,
+    name: String,
+    spec: CampaignSpec,
+    dir: PathBuf,
+    journal: Mutex<Journal>,
+}
+
+/// One queued/dispatched job.
+struct Assignment {
+    runtime: Arc<CampaignRuntime>,
+    job: Job,
+}
+
+/// What a worker reports back to the poll loop.
+struct Completion {
+    tenant: String,
+    campaign: String,
+    outcome: Result<JobOutcome, String>,
+}
+
+/// Main-loop bookkeeping for one campaign.
+struct CampaignEntry {
+    runtime: Arc<CampaignRuntime>,
+    grid: usize,
+    done: usize,
+    quarantined: usize,
+    /// Jobs queued or in flight in this process.
+    outstanding: usize,
+    /// `report.json` written.
+    complete: bool,
+}
+
+/// One client connection's poll-loop state.
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    tenant: Option<String>,
+    /// `None` = not subscribed; `Some(None)` = all of the tenant's
+    /// campaigns; `Some(Some(name))` = one campaign.
+    subscription: Option<Option<String>>,
+    close_after_flush: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn push_msg(&mut self, msg: &Msg) {
+        let (t, payload) = msg.encode();
+        self.outbuf.extend_from_slice(&encode_frame(t, &payload));
+    }
+
+    fn push_error(&mut self, code: ErrorCode, msg: String, close: bool) {
+        self.push_msg(&Msg::Error { code, msg });
+        if close {
+            self.close_after_flush = true;
+        }
+    }
+
+    fn wants_event(&self, tenant: &str, campaign: &str) -> bool {
+        if self.tenant.as_deref() != Some(tenant) {
+            return false;
+        }
+        match &self.subscription {
+            None => false,
+            Some(None) => true,
+            Some(Some(name)) => name == campaign,
+        }
+    }
+}
+
+/// Poll-loop-owned server state (everything but the connections).
+struct ServerState {
+    config: DaemonConfig,
+    entries: BTreeMap<(String, String), CampaignEntry>,
+    queue: FairQueue<Assignment>,
+    in_flight: usize,
+}
+
+impl ServerState {
+    fn job_cost(spec: &CampaignSpec) -> u64 {
+        (spec.budget.warmup + spec.budget.measure).max(1)
+    }
+
+    /// Queue the given jobs of a campaign. Caller has already checked
+    /// admission caps (fresh submits) or is recovering admitted work.
+    fn enqueue(&mut self, runtime: &Arc<CampaignRuntime>, jobs: Vec<Job>) {
+        let cost = Self::job_cost(&runtime.spec);
+        let batch: Vec<(Assignment, u64)> = jobs
+            .into_iter()
+            .map(|job| {
+                (
+                    Assignment {
+                        runtime: Arc::clone(runtime),
+                        job,
+                    },
+                    cost,
+                )
+            })
+            .collect();
+        let n = batch.len();
+        self.queue
+            .admit(&runtime.tenant, batch, false)
+            .expect("uncapped admit cannot fail");
+        let entry = self
+            .entries
+            .get_mut(&(runtime.tenant.clone(), runtime.name.clone()))
+            .expect("entry exists before enqueue");
+        entry.outstanding += n;
+    }
+}
+
+/// A bound-and-configured daemon, ready to [`run`](Daemon::run).
+pub struct Daemon {
+    listener: TcpListener,
+    config: DaemonConfig,
+}
+
+impl Daemon {
+    /// Bind the listening socket (nonblocking) without starting service.
+    pub fn bind(addr: &str, config: DaemonConfig) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Daemon { listener, config })
+    }
+
+    /// The bound address (useful with `--listen 127.0.0.1:0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until `shutdown` becomes true. Blocks the calling thread;
+    /// worker threads are joined before returning (jobs already
+    /// dispatched run to completion — their journal records land — but
+    /// no new jobs start once `shutdown` is observed).
+    pub fn run(self, shutdown: Arc<AtomicBool>) -> Result<(), String> {
+        let mut state = ServerState {
+            queue: FairQueue::new(
+                self.config.quantum,
+                self.config.max_pending_jobs.max(1).saturating_mul(2), // recovery headroom
+                usize::MAX,
+            ),
+            config: self.config,
+            entries: BTreeMap::new(),
+            in_flight: 0,
+        };
+        // The FairQueue's own caps stay loose: admission for fresh
+        // submissions is checked explicitly in `handle_submit` against
+        // `config`, so recovery re-enqueues are never refused.
+        recover(&mut state)?;
+
+        let (job_tx, job_rx) = mpsc::channel::<Assignment>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (done_tx, done_rx) = mpsc::channel::<Completion>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..state.config.workers {
+                let rx = Arc::clone(&job_rx);
+                let tx = done_tx.clone();
+                scope.spawn(move || worker_loop(rx, tx));
+            }
+            drop(done_tx);
+            let result = poll_loop(
+                &self.listener,
+                &mut state,
+                &job_tx,
+                &done_rx,
+                shutdown.as_ref(),
+            );
+            drop(job_tx); // hang up: idle workers exit, busy ones finish
+            result
+        })
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<mpsc::Receiver<Assignment>>>, tx: mpsc::Sender<Completion>) {
+    loop {
+        // Hold the lock only for the recv, never during the simulation.
+        let next = { rx.lock().unwrap_or_else(|p| p.into_inner()).recv() };
+        let Ok(a) = next else { break };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_one(&a.runtime.spec, &a.runtime.dir, &a.job, &a.runtime.journal)
+        }))
+        .map_err(|p| {
+            // `execute_one` catches *simulation* panics itself; reaching
+            // here means the durability machinery failed (journal fsync,
+            // manifest write). The job stays un-journalled and is redone.
+            if let Some(s) = p.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = p.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else {
+                "<non-string panic payload>".to_string()
+            }
+        });
+        let completion = Completion {
+            tenant: a.runtime.tenant.clone(),
+            campaign: a.runtime.name.clone(),
+            outcome,
+        };
+        if tx.send(completion).is_err() {
+            break; // poll loop is gone; shutdown
+        }
+    }
+}
+
+/// Startup recovery: scan `<root>/<tenant>/<campaign>/spec.campaign`,
+/// rebuild every campaign's state from its journals and re-enqueue the
+/// incomplete remainder. Unreadable campaign dirs are reported on stderr
+/// and skipped — one corrupt tenant must not block service (the operator
+/// runbook covers triage).
+fn recover(state: &mut ServerState) -> Result<(), String> {
+    let root = state.config.root.clone();
+    std::fs::create_dir_all(&root).map_err(|e| format!("create root {}: {e}", root.display()))?;
+    for tenant in sorted_dirs(&root) {
+        let tenant_name = match tenant.file_name().and_then(|n| n.to_str()) {
+            Some(n) if valid_name(n) => n.to_string(),
+            _ => continue,
+        };
+        for camp_dir in sorted_dirs(&tenant) {
+            let Some(camp_name) = camp_dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .filter(|n| valid_name(n))
+                .map(str::to_string)
+            else {
+                continue;
+            };
+            let spec_path = camp_dir.join("spec.campaign");
+            if !spec_path.exists() {
+                continue;
+            }
+            let recovered = (|| -> Result<(), String> {
+                let text = std::fs::read_to_string(&spec_path).map_err(|e| e.to_string())?;
+                let spec = CampaignSpec::parse(&text)?;
+                if spec.name != camp_name {
+                    return Err(format!(
+                        "spec name {:?} does not match directory {:?}",
+                        spec.name, camp_name
+                    ));
+                }
+                install_campaign(state, &tenant_name, spec, camp_dir.clone())?;
+                Ok(())
+            })();
+            if let Err(e) = recovered {
+                eprintln!(
+                    "campaignd: skipping unrecoverable campaign {}: {e}",
+                    camp_dir.display()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Register a campaign (fresh or recovered): open its journal, load what
+/// the journals prove, enqueue the remainder, and render the report if
+/// the grid is already covered but `report.json` is missing (the crash
+/// window between the last job and the report write).
+fn install_campaign(
+    state: &mut ServerState,
+    tenant: &str,
+    spec: CampaignSpec,
+    dir: PathBuf,
+) -> Result<(), String> {
+    let loaded = load_state(&spec, &dir)?;
+    let jobs = spec.jobs();
+    let header = Record::Header {
+        name: spec.name.clone(),
+        fingerprint: spec.fingerprint,
+        grid: jobs.len(),
+        warmup: spec.budget.warmup,
+        measure: spec.budget.measure,
+    };
+    let journal = Journal::open(&dir, 0, 1, &header).map_err(|e| format!("open journal: {e}"))?;
+    let pending: Vec<Job> = jobs
+        .iter()
+        .filter(|j| {
+            let id = j.id(&spec.name);
+            loaded.done.iter().all(|(i, ..)| *i != id)
+                && loaded.quarantined.iter().all(|(i, ..)| *i != id)
+        })
+        .cloned()
+        .collect();
+    let name = spec.name.clone();
+    let runtime = Arc::new(CampaignRuntime {
+        tenant: tenant.to_string(),
+        name: name.clone(),
+        spec,
+        dir: dir.clone(),
+        journal: Mutex::new(journal),
+    });
+    let mut entry = CampaignEntry {
+        runtime: Arc::clone(&runtime),
+        grid: jobs.len(),
+        done: loaded.done.len(),
+        quarantined: loaded.quarantined.len(),
+        outstanding: 0,
+        complete: false,
+    };
+    if pending.is_empty() {
+        if !dir.join("report.json").exists() {
+            let bytes = report::render(&runtime.spec, &dir, &loaded)?;
+            atomic_write(&dir.join("report.json"), &bytes)
+                .map_err(|e| format!("write report: {e}"))?;
+        }
+        entry.complete = true;
+        state.entries.insert((tenant.to_string(), name), entry);
+    } else {
+        state.entries.insert((tenant.to_string(), name), entry);
+        state.enqueue(&runtime, pending);
+    }
+    Ok(())
+}
+
+fn sorted_dirs(path: &std::path::Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(path)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    out.sort();
+    out
+}
+
+fn poll_loop(
+    listener: &TcpListener,
+    state: &mut ServerState,
+    job_tx: &mpsc::Sender<Assignment>,
+    done_rx: &mpsc::Receiver<Completion>,
+    shutdown: &AtomicBool,
+) -> Result<(), String> {
+    let mut conns: Vec<Conn> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        let mut progress = false;
+
+        // 1. Accept.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    conns.push(Conn {
+                        stream,
+                        inbuf: Vec::new(),
+                        outbuf: Vec::new(),
+                        outpos: 0,
+                        tenant: None,
+                        subscription: None,
+                        close_after_flush: false,
+                        dead: false,
+                    });
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("accept: {e}")),
+            }
+        }
+
+        // 2. Read and handle client frames.
+        let mut events: Vec<(String, String, Event)> = Vec::new();
+        for i in 0..conns.len() {
+            if conns[i].dead || conns[i].close_after_flush {
+                continue;
+            }
+            let mut chunk = [0u8; 16384];
+            loop {
+                match conns[i].stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conns[i].dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        progress = true;
+                        conns[i].inbuf.extend_from_slice(&chunk[..n]);
+                        // A peer streaming more than a frame's worth of
+                        // unparseable bytes is cut off.
+                        if conns[i].inbuf.len() > MAX_PAYLOAD * 2 {
+                            conns[i].dead = true;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conns[i].dead = true;
+                        break;
+                    }
+                }
+            }
+            if conns[i].dead {
+                continue;
+            }
+            // Parse complete frames off the front of the buffer.
+            let mut consumed_total = 0;
+            loop {
+                match decode_frame(&conns[i].inbuf[consumed_total..]) {
+                    Decoded::Incomplete { .. } => break,
+                    Decoded::Corrupt(e) => {
+                        conns[i].push_error(ErrorCode::Malformed, e.to_string(), true);
+                        break;
+                    }
+                    Decoded::Frame {
+                        msg_type,
+                        payload,
+                        consumed,
+                    } => {
+                        consumed_total += consumed;
+                        progress = true;
+                        match Msg::decode(msg_type, &payload) {
+                            None => {
+                                conns[i].push_error(
+                                    ErrorCode::Malformed,
+                                    format!("payload does not parse for type 0x{msg_type:02x}"),
+                                    true,
+                                );
+                                break;
+                            }
+                            Some(msg) => {
+                                handle_msg(state, &mut conns[i], msg);
+                                if conns[i].close_after_flush {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if consumed_total > 0 {
+                conns[i].inbuf.drain(..consumed_total);
+            }
+        }
+
+        // 3. Drain worker completions.
+        while let Ok(completion) = done_rx.try_recv() {
+            progress = true;
+            state.in_flight -= 1;
+            on_completion(state, completion, &mut events);
+        }
+
+        // 4. Fan pushed events out to subscribers.
+        for (tenant, campaign, event) in events {
+            for conn in conns.iter_mut() {
+                if !conn.dead && conn.wants_event(&tenant, &campaign) {
+                    conn.push_msg(&Msg::Event(event.clone()));
+                }
+            }
+        }
+
+        // 5. Dispatch queued jobs onto free workers.
+        while state.in_flight < state.config.workers {
+            let Some(assignment) = state.queue.next() else {
+                break;
+            };
+            state.in_flight += 1;
+            progress = true;
+            job_tx
+                .send(assignment)
+                .map_err(|_| "worker pool hung up".to_string())?;
+        }
+
+        // 6. Flush output buffers.
+        for conn in conns.iter_mut() {
+            if conn.dead {
+                continue;
+            }
+            while conn.outpos < conn.outbuf.len() {
+                match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.outpos += n;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.outpos == conn.outbuf.len() {
+                conn.outbuf.clear();
+                conn.outpos = 0;
+                if conn.close_after_flush {
+                    conn.dead = true;
+                }
+            } else if conn.outbuf.len() - conn.outpos > MAX_OUTBUF {
+                // Slow subscriber: disconnect rather than buffer unboundedly.
+                conn.dead = true;
+            }
+        }
+        conns.retain(|c| !c.dead);
+
+        if !progress {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+    Ok(())
+}
+
+fn handle_msg(state: &mut ServerState, conn: &mut Conn, msg: Msg) {
+    // HELLO must come first, exactly once.
+    if conn.tenant.is_none() {
+        match msg {
+            Msg::Hello { proto, tenant } => {
+                if proto != PROTO_ID {
+                    conn.push_error(
+                        ErrorCode::Version,
+                        format!("unsupported protocol {proto:?} (serving {PROTO_ID})"),
+                        true,
+                    );
+                    return;
+                }
+                if !valid_name(&tenant) {
+                    conn.push_error(
+                        ErrorCode::Name,
+                        format!("invalid tenant name {tenant:?}"),
+                        true,
+                    );
+                    return;
+                }
+                conn.tenant = Some(tenant);
+                conn.push_msg(&Msg::HelloOk {
+                    proto: PROTO_ID.to_string(),
+                });
+            }
+            _ => conn.push_error(ErrorCode::Order, "hello required first".to_string(), true),
+        }
+        return;
+    }
+    let tenant = conn.tenant.clone().expect("checked above");
+    match msg {
+        Msg::Hello { .. } => {
+            conn.push_error(ErrorCode::Order, "hello already sent".to_string(), true);
+        }
+        Msg::Submit { spec_text } => handle_submit(state, conn, &tenant, &spec_text),
+        Msg::Status { campaign } => match status_reply(state, &tenant, campaign.as_deref()) {
+            Ok(reply) => conn.push_msg(&reply),
+            Err((code, msg)) => conn.push_error(code, msg, false),
+        },
+        Msg::Subscribe { campaign } => {
+            if let Some(name) = &campaign {
+                if !state.entries.contains_key(&(tenant.clone(), name.clone())) {
+                    conn.push_error(
+                        ErrorCode::Unknown,
+                        format!("no campaign {name:?} for tenant {tenant:?}"),
+                        false,
+                    );
+                    return;
+                }
+            }
+            match status_reply(state, &tenant, campaign.as_deref()) {
+                Ok(reply) => {
+                    conn.subscription = Some(campaign);
+                    conn.push_msg(&reply);
+                }
+                Err((code, msg)) => conn.push_error(code, msg, false),
+            }
+        }
+        Msg::Ping { token } => conn.push_msg(&Msg::Pong { token }),
+        // Server→client types arriving at the server are an order error.
+        _ => conn.push_error(
+            ErrorCode::Order,
+            "server-to-client message sent to server".to_string(),
+            true,
+        ),
+    }
+}
+
+fn handle_submit(state: &mut ServerState, conn: &mut Conn, tenant: &str, spec_text: &str) {
+    let spec = match CampaignSpec::parse(spec_text) {
+        Ok(s) => s,
+        Err(e) => {
+            conn.push_error(ErrorCode::Spec, e, false);
+            return;
+        }
+    };
+    if !valid_name(&spec.name) {
+        conn.push_error(
+            ErrorCode::Name,
+            format!("invalid campaign name {:?}", spec.name),
+            false,
+        );
+        return;
+    }
+    let key = (tenant.to_string(), spec.name.clone());
+    if let Some(entry) = state.entries.get(&key) {
+        // Idempotent re-submit of the same spec; anything else is a
+        // conflicting revision.
+        if entry.runtime.spec.fingerprint != spec.fingerprint {
+            conn.push_error(
+                ErrorCode::Spec,
+                format!(
+                    "campaign {:?} already exists with fingerprint {:016x} \
+                     (submitted spec has {:016x})",
+                    spec.name, entry.runtime.spec.fingerprint, spec.fingerprint
+                ),
+                false,
+            );
+            return;
+        }
+        conn.push_msg(&Msg::Submitted {
+            campaign: spec.name,
+            fingerprint: spec.fingerprint,
+            grid: entry.grid,
+            pending: entry.grid - entry.done - entry.quarantined,
+            report: entry.complete,
+        });
+        return;
+    }
+
+    // Fresh campaign: admission first (a refusal must leave no state).
+    let grid = spec.jobs().len();
+    if state.queue.queued() + grid > state.config.max_pending_jobs {
+        conn.push_msg(&Msg::Busy {
+            reason: "queue-full".to_string(),
+            retry_ms: BUSY_RETRY_MS,
+        });
+        return;
+    }
+    if state.queue.queued_for(tenant) + grid > state.config.max_pending_per_tenant {
+        conn.push_msg(&Msg::Busy {
+            reason: "tenant-quota".to_string(),
+            retry_ms: BUSY_RETRY_MS,
+        });
+        return;
+    }
+
+    // Persist the spec before acknowledging: an accepted submission must
+    // survive kill -9 of the daemon.
+    let dir = state.config.root.join(tenant).join(&spec.name);
+    if let Err(e) = atomic_write(&dir.join("spec.campaign"), spec_text.as_bytes()) {
+        conn.push_error(ErrorCode::State, format!("persist spec: {e}"), false);
+        return;
+    }
+    let fingerprint = spec.fingerprint;
+    let name = spec.name.clone();
+    match install_campaign(state, tenant, spec, dir) {
+        Ok(()) => {
+            let entry = &state.entries[&(tenant.to_string(), name.clone())];
+            conn.push_msg(&Msg::Submitted {
+                campaign: name,
+                fingerprint,
+                grid: entry.grid,
+                pending: entry.grid - entry.done - entry.quarantined,
+                report: entry.complete,
+            });
+        }
+        Err(e) => conn.push_error(ErrorCode::State, e, false),
+    }
+}
+
+/// Build a status snapshot for one tenant (optionally one campaign).
+/// Numbers come from the journals on disk — the durable truth — via
+/// [`scheduler::status`], so a status reply is exactly what a resume
+/// would trust.
+fn status_reply(
+    state: &ServerState,
+    tenant: &str,
+    filter: Option<&str>,
+) -> Result<Msg, (ErrorCode, String)> {
+    let mut campaigns = Vec::new();
+    let mut quarantines = Vec::new();
+    let mut matched = false;
+    for ((t, name), entry) in &state.entries {
+        if t != tenant || filter.is_some_and(|f| f != name) {
+            continue;
+        }
+        matched = true;
+        let s = scheduler::status(&entry.runtime.spec, &entry.runtime.dir)
+            .map_err(|e| (ErrorCode::State, e))?;
+        campaigns.push(CampaignStatus {
+            name: name.clone(),
+            grid: s.grid,
+            done: s.done,
+            quarantined: s.quarantined.len(),
+            pending: s.grid - s.done - s.quarantined.len(),
+            report: s.report_exists,
+        });
+        for (id, _key, attempts, payload) in s.quarantined {
+            quarantines.push(QuarantineStatus {
+                campaign: name.clone(),
+                id,
+                attempts,
+                payload,
+            });
+        }
+    }
+    if let Some(f) = filter {
+        if !matched {
+            return Err((
+                ErrorCode::Unknown,
+                format!("no campaign {f:?} for tenant {tenant:?}"),
+            ));
+        }
+    }
+    Ok(Msg::StatusReply {
+        campaigns,
+        quarantines,
+    })
+}
+
+fn on_completion(
+    state: &mut ServerState,
+    completion: Completion,
+    events: &mut Vec<(String, String, Event)>,
+) {
+    let key = (completion.tenant.clone(), completion.campaign.clone());
+    let Some(entry) = state.entries.get_mut(&key) else {
+        return; // entry vanished — cannot happen, but never panic the loop
+    };
+    entry.outstanding -= 1;
+    match completion.outcome {
+        Ok(JobOutcome::Done {
+            id,
+            key: jkey,
+            manifest,
+        }) => {
+            entry.done += 1;
+            events.push((
+                completion.tenant.clone(),
+                completion.campaign.clone(),
+                Event::JobDone {
+                    campaign: completion.campaign.clone(),
+                    id,
+                    manifest,
+                    key: jkey,
+                },
+            ));
+        }
+        Ok(JobOutcome::Quarantined {
+            id,
+            key: _,
+            attempts,
+            payload,
+        }) => {
+            entry.quarantined += 1;
+            events.push((
+                completion.tenant.clone(),
+                completion.campaign.clone(),
+                Event::JobQuarantined {
+                    campaign: completion.campaign.clone(),
+                    id,
+                    attempts,
+                    payload,
+                },
+            ));
+        }
+        Err(e) => {
+            // Durability-machinery failure: the job left no journal
+            // record and is re-enqueued when the campaign drains below.
+            eprintln!(
+                "campaignd: job of {}/{} failed outside the retry path: {e}",
+                completion.tenant, completion.campaign
+            );
+        }
+    }
+    if entry.outstanding > 0 || entry.complete {
+        return;
+    }
+    // Campaign drained: settle against the journals. Torn manifests (the
+    // rename/append crash window) or machinery failures demote jobs back
+    // to pending; redo them instead of reporting.
+    let runtime = Arc::clone(&entry.runtime);
+    let settled = (|| -> Result<(), String> {
+        let merged = load_state(&runtime.spec, &runtime.dir)?;
+        let jobs = runtime.spec.jobs();
+        let entry = state.entries.get_mut(&key).expect("entry exists");
+        entry.done = merged.done.len();
+        entry.quarantined = merged.quarantined.len();
+        if merged.done.len() + merged.quarantined.len() >= jobs.len() {
+            let bytes = report::render(&runtime.spec, &runtime.dir, &merged)?;
+            atomic_write(&runtime.dir.join("report.json"), &bytes)
+                .map_err(|e| format!("write report: {e}"))?;
+            entry.complete = true;
+            events.push((
+                runtime.tenant.clone(),
+                runtime.name.clone(),
+                Event::CampaignComplete {
+                    campaign: runtime.name.clone(),
+                    completed: merged.done.len(),
+                    quarantined: merged.quarantined.len(),
+                    report: "report.json".to_string(),
+                },
+            ));
+        } else {
+            let pending: Vec<Job> = jobs
+                .iter()
+                .filter(|j| {
+                    let id = j.id(&runtime.spec.name);
+                    merged.done.iter().all(|(i, ..)| *i != id)
+                        && merged.quarantined.iter().all(|(i, ..)| *i != id)
+                })
+                .cloned()
+                .collect();
+            state.enqueue(&runtime, pending);
+        }
+        Ok(())
+    })();
+    if let Err(e) = settled {
+        eprintln!(
+            "campaignd: settling {}/{}: {e}",
+            completion.tenant, completion.campaign
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! The `renuca-campaignd-v1` frame codec.
+//!
+//! This module implements — byte for byte — §2 and §3 of the normative
+//! wire specification in `docs/protocol.md`. Keep the two in lockstep:
+//! `tests/protocol_example.rs` decodes the byte examples committed in the
+//! document, and `scripts/ci.sh` fails when a `MSG_*` constant below is
+//! not named in the document.
+//!
+//! A frame is a 13-byte header (`RNCD` magic, type code, little-endian
+//! payload length, little-endian CRC-32 over type+length+payload) followed
+//! by a UTF-8 payload of at most [`MAX_PAYLOAD`] bytes. Decoding is
+//! incremental ([`decode_frame`] reports how many more bytes it needs) and
+//! unforgiving: any malformed header is a fatal protocol error, never a
+//! resynchronisation point.
+
+use crate::hashes::crc32;
+
+/// Protocol identity negotiated in `hello` / `hello-ok`.
+pub const PROTO_ID: &str = "renuca-campaignd-v1";
+
+/// Frame magic: ASCII `RNCD`.
+pub const MAGIC: [u8; 4] = *b"RNCD";
+
+/// Fixed header size: magic (4) + type (1) + len (4) + crc (4).
+pub const HEADER_LEN: usize = 13;
+
+/// Hard upper bound on payload length (1 MiB). Bounds per-connection
+/// memory; campaign specs and status replies are orders of magnitude
+/// smaller.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Client→server: version negotiation + tenant identity (first frame).
+pub const MSG_HELLO: u8 = 0x01;
+/// Client→server: submit a `renuca-campaign-v1` spec.
+pub const MSG_SUBMIT: u8 = 0x02;
+/// Client→server: query campaign progress.
+pub const MSG_STATUS: u8 = 0x03;
+/// Client→server: subscribe to completion events.
+pub const MSG_SUBSCRIBE: u8 = 0x04;
+/// Client→server: liveness probe.
+pub const MSG_PING: u8 = 0x05;
+/// Server→client: version accepted.
+pub const MSG_HELLO_OK: u8 = 0x81;
+/// Server→client: campaign accepted / re-acknowledged.
+pub const MSG_SUBMITTED: u8 = 0x82;
+/// Server→client: progress snapshot.
+pub const MSG_STATUS_REPLY: u8 = 0x83;
+/// Server→client: pushed completion event.
+pub const MSG_EVENT: u8 = 0x84;
+/// Server→client: admission refused, retry later (backpressure).
+pub const MSG_BUSY: u8 = 0x85;
+/// Server→client: request failed.
+pub const MSG_ERROR: u8 = 0x86;
+/// Server→client: reply to `MSG_PING`.
+pub const MSG_PONG: u8 = 0x87;
+
+/// All type codes `renuca-campaignd-v1` defines, client→server first.
+pub const ALL_TYPES: [u8; 12] = [
+    MSG_HELLO,
+    MSG_SUBMIT,
+    MSG_STATUS,
+    MSG_SUBSCRIBE,
+    MSG_PING,
+    MSG_HELLO_OK,
+    MSG_SUBMITTED,
+    MSG_STATUS_REPLY,
+    MSG_EVENT,
+    MSG_BUSY,
+    MSG_ERROR,
+    MSG_PONG,
+];
+
+/// Why a byte sequence is not (the start of) a valid frame. Every variant
+/// is fatal to the connection (`docs/protocol.md` §2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes are not `RNCD`.
+    BadMagic([u8; 4]),
+    /// The type code is not one this protocol version defines.
+    BadType(u8),
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversize(u32),
+    /// The CRC over type+length+payload does not match the header.
+    BadCrc {
+        /// CRC the header claimed.
+        expected: u32,
+        /// CRC computed from the received bytes.
+        actual: u32,
+    },
+    /// The payload is not valid UTF-8.
+    NonUtf8,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::BadType(t) => write!(f, "unknown message type 0x{t:02x}"),
+            FrameError::Oversize(n) => write!(f, "payload length {n} exceeds {MAX_PAYLOAD}"),
+            FrameError::BadCrc { expected, actual } => {
+                write!(
+                    f,
+                    "frame crc mismatch: header {expected:08x}, bytes {actual:08x}"
+                )
+            }
+            FrameError::NonUtf8 => write!(f, "payload is not valid UTF-8"),
+        }
+    }
+}
+
+/// Result of attempting to decode one frame from the front of a buffer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decoded {
+    /// Not enough bytes yet; the frame (so far valid) needs this many
+    /// bytes total before it can be decoded.
+    Incomplete {
+        /// Total bytes the frame occupies once complete.
+        need: usize,
+    },
+    /// One whole valid frame.
+    Frame {
+        /// Message type code.
+        msg_type: u8,
+        /// Payload text.
+        payload: String,
+        /// Bytes consumed from the buffer (header + payload).
+        consumed: usize,
+    },
+    /// The buffer does not start with a valid frame; the stream is dead.
+    Corrupt(FrameError),
+}
+
+/// CRC-32 over the bytes the header's `crc` field covers: the type byte,
+/// the four little-endian length bytes, then the payload.
+fn frame_crc(msg_type: u8, payload: &[u8]) -> u32 {
+    let mut covered = Vec::with_capacity(5 + payload.len());
+    covered.push(msg_type);
+    covered.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    covered.extend_from_slice(payload);
+    crc32(&covered)
+}
+
+/// Serialise one frame.
+///
+/// Panics if `payload` exceeds [`MAX_PAYLOAD`] — senders size their
+/// payloads (status replies chunk per campaign), so an oversize payload is
+/// a programming error, not a runtime condition.
+pub fn encode_frame(msg_type: u8, payload: &str) -> Vec<u8> {
+    let payload = payload.as_bytes();
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "frame payload {} exceeds MAX_PAYLOAD",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(msg_type);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_crc(msg_type, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Try to decode one frame from the front of `buf`.
+///
+/// Validation order follows `docs/protocol.md` §2: magic, type code,
+/// length bound, CRC, UTF-8. The magic/type/length checks run as soon as
+/// their bytes are present, so garbage is rejected without waiting for a
+/// (possibly huge, possibly never-arriving) declared payload.
+pub fn decode_frame(buf: &[u8]) -> Decoded {
+    if buf.len() < 4 {
+        // Partial magic must still be a *prefix* of the real magic.
+        if buf != &MAGIC[..buf.len()] {
+            let mut m = [0u8; 4];
+            m[..buf.len()].copy_from_slice(buf);
+            return Decoded::Corrupt(FrameError::BadMagic(m));
+        }
+        return Decoded::Incomplete { need: HEADER_LEN };
+    }
+    if buf[..4] != MAGIC {
+        return Decoded::Corrupt(FrameError::BadMagic([buf[0], buf[1], buf[2], buf[3]]));
+    }
+    if buf.len() < 5 {
+        return Decoded::Incomplete { need: HEADER_LEN };
+    }
+    let msg_type = buf[4];
+    if !ALL_TYPES.contains(&msg_type) {
+        return Decoded::Corrupt(FrameError::BadType(msg_type));
+    }
+    if buf.len() < 9 {
+        return Decoded::Incomplete { need: HEADER_LEN };
+    }
+    let len = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]);
+    if len as usize > MAX_PAYLOAD {
+        return Decoded::Corrupt(FrameError::Oversize(len));
+    }
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Decoded::Incomplete { need: total };
+    }
+    let expected = u32::from_le_bytes([buf[9], buf[10], buf[11], buf[12]]);
+    let payload = &buf[HEADER_LEN..total];
+    let actual = frame_crc(msg_type, payload);
+    if actual != expected {
+        return Decoded::Corrupt(FrameError::BadCrc { expected, actual });
+    }
+    match std::str::from_utf8(payload) {
+        Ok(text) => Decoded::Frame {
+            msg_type,
+            payload: text.to_string(),
+            consumed: total,
+        },
+        Err(_) => Decoded::Corrupt(FrameError::NonUtf8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_type() {
+        for t in ALL_TYPES {
+            let payload = format!("payload for 0x{t:02x} with spaces\nand a second line");
+            let bytes = encode_frame(t, &payload);
+            assert_eq!(bytes.len(), HEADER_LEN + payload.len());
+            match decode_frame(&bytes) {
+                Decoded::Frame {
+                    msg_type,
+                    payload: p,
+                    consumed,
+                } => {
+                    assert_eq!(msg_type, t);
+                    assert_eq!(p, payload);
+                    assert_eq!(consumed, bytes.len());
+                }
+                other => panic!("decode of valid frame: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_decode_reports_need() {
+        let bytes = encode_frame(MSG_PING, "ping token=7");
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Decoded::Incomplete { need } => {
+                    assert!(need > cut, "cut={cut}");
+                    assert!(need <= bytes.len(), "cut={cut}");
+                }
+                other => panic!("cut={cut}: {other:?}"),
+            }
+        }
+        assert!(matches!(decode_frame(&bytes), Decoded::Frame { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_magic_type_len_crc_utf8() {
+        let good = encode_frame(MSG_HELLO, "hello proto=renuca-campaignd-v1 tenant=t");
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_frame(&bad),
+            Decoded::Corrupt(FrameError::BadMagic(_))
+        ));
+        // A partial buffer that already deviates from the magic is corrupt,
+        // not incomplete.
+        assert!(matches!(
+            decode_frame(b"RQ"),
+            Decoded::Corrupt(FrameError::BadMagic(_))
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = 0x7e;
+        assert!(matches!(
+            decode_frame(&bad),
+            Decoded::Corrupt(FrameError::BadType(0x7e))
+        ));
+
+        let mut bad = good.clone();
+        bad[5..9].copy_from_slice(&((MAX_PAYLOAD as u32) + 1).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bad),
+            Decoded::Corrupt(FrameError::Oversize(_))
+        ));
+
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 1;
+        assert!(matches!(
+            decode_frame(&bad),
+            Decoded::Corrupt(FrameError::BadCrc { .. })
+        ));
+
+        // Valid CRC over invalid UTF-8 payload.
+        let raw = [0xffu8, 0xfe];
+        let mut covered = vec![MSG_PING];
+        covered.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        covered.extend_from_slice(&raw);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(MSG_PING);
+        bytes.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crate::hashes::crc32(&covered).to_le_bytes());
+        bytes.extend_from_slice(&raw);
+        assert!(matches!(
+            decode_frame(&bytes),
+            Decoded::Corrupt(FrameError::NonUtf8)
+        ));
+    }
+
+    #[test]
+    fn back_to_back_frames_consume_exactly() {
+        let a = encode_frame(MSG_PING, "ping token=1");
+        let b = encode_frame(MSG_PONG, "pong token=1");
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let Decoded::Frame { consumed, .. } = decode_frame(&stream) else {
+            panic!("first frame")
+        };
+        assert_eq!(consumed, a.len());
+        let Decoded::Frame { msg_type, .. } = decode_frame(&stream[consumed..]) else {
+            panic!("second frame")
+        };
+        assert_eq!(msg_type, MSG_PONG);
+    }
+}

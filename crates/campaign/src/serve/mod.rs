@@ -1,0 +1,26 @@
+//! The campaign service: a multi-tenant daemon serving the
+//! `renuca-campaignd-v1` wire protocol.
+//!
+//! The normative protocol document is `docs/protocol.md`; the operator
+//! runbook is `docs/OPERATIONS.md`. Layers, bottom up:
+//!
+//! * [`frame`] — the CRC-checked length-prefixed frame codec (§2–3 of
+//!   the protocol document);
+//! * [`proto`] — the typed message grammar over frame payloads (§4–6);
+//! * [`queue`] — per-tenant deficit-round-robin scheduling and bounded
+//!   admission;
+//! * [`daemon`] — the `campaignd` service loop: accept, schedule over
+//!   the worker pool, journal, stream events, recover on restart;
+//! * [`client`] — the blocking client used by `campaign-client`, the
+//!   tests and the saturation bench.
+
+pub mod client;
+pub mod daemon;
+pub mod frame;
+pub mod proto;
+pub mod queue;
+
+pub use client::Client;
+pub use daemon::{Daemon, DaemonConfig};
+pub use frame::PROTO_ID;
+pub use proto::{Event, Msg};

@@ -1,0 +1,648 @@
+//! The `renuca-campaignd-v1` message grammar (§4 of `docs/protocol.md`).
+//!
+//! [`Msg`] is the typed form of every payload the protocol defines.
+//! Encoding and decoding use the same positional `key=value` record
+//! discipline as the campaign journal: a record's key sequence is exact,
+//! and only the last field of a record may contain spaces, `=` signs or
+//! escaped newlines. `MSG_SUBMIT` is the one exception — its payload is a
+//! raw `renuca-campaign-v1` spec document, carried verbatim.
+
+use crate::journal::{escape, split_fields, unescape};
+
+use super::frame::{
+    MSG_BUSY, MSG_ERROR, MSG_EVENT, MSG_HELLO, MSG_HELLO_OK, MSG_PING, MSG_PONG, MSG_STATUS,
+    MSG_STATUS_REPLY, MSG_SUBMIT, MSG_SUBMITTED, MSG_SUBSCRIBE,
+};
+
+/// Machine-readable error codes (`docs/protocol.md` §6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Unsupported protocol id in `hello`.
+    Version,
+    /// Request before `hello`, or repeated `hello`.
+    Order,
+    /// Frame or record failed to parse.
+    Malformed,
+    /// Tenant or campaign name fails the naming rule.
+    Name,
+    /// Campaign spec rejected (parse error or fingerprint mismatch).
+    Spec,
+    /// Named campaign does not exist for this tenant.
+    Unknown,
+    /// Daemon-side I/O failure acting on the request.
+    State,
+}
+
+impl ErrorCode {
+    /// Wire word for the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Version => "E_VERSION",
+            ErrorCode::Order => "E_ORDER",
+            ErrorCode::Malformed => "E_MALFORMED",
+            ErrorCode::Name => "E_NAME",
+            ErrorCode::Spec => "E_SPEC",
+            ErrorCode::Unknown => "E_UNKNOWN",
+            ErrorCode::State => "E_STATE",
+        }
+    }
+
+    fn parse(word: &str) -> Option<ErrorCode> {
+        Some(match word {
+            "E_VERSION" => ErrorCode::Version,
+            "E_ORDER" => ErrorCode::Order,
+            "E_MALFORMED" => ErrorCode::Malformed,
+            "E_NAME" => ErrorCode::Name,
+            "E_SPEC" => ErrorCode::Spec,
+            "E_UNKNOWN" => ErrorCode::Unknown,
+            "E_STATE" => ErrorCode::State,
+            _ => return None,
+        })
+    }
+}
+
+/// One campaign's progress line inside a status reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignStatus {
+    /// Campaign name.
+    pub name: String,
+    /// Total grid size.
+    pub grid: usize,
+    /// Jobs proven done.
+    pub done: usize,
+    /// Jobs quarantined.
+    pub quarantined: usize,
+    /// Jobs not yet done or quarantined.
+    pub pending: usize,
+    /// Whether `report.json` has been written.
+    pub report: bool,
+}
+
+/// One quarantined job surfaced in a status reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantineStatus {
+    /// Owning campaign.
+    pub campaign: String,
+    /// Job id (`j` + 16 hex digits).
+    pub id: String,
+    /// Attempts made before quarantine.
+    pub attempts: u32,
+    /// Captured panic payload of the last attempt.
+    pub payload: String,
+}
+
+/// A pushed completion event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A job finished; its manifest is durable.
+    JobDone {
+        /// Owning campaign.
+        campaign: String,
+        /// Job id.
+        id: String,
+        /// Manifest path relative to the campaign state dir.
+        manifest: String,
+        /// Canonical job key.
+        key: String,
+    },
+    /// A job exhausted its retries.
+    JobQuarantined {
+        /// Owning campaign.
+        campaign: String,
+        /// Job id.
+        id: String,
+        /// Attempts made.
+        attempts: u32,
+        /// Captured panic payload.
+        payload: String,
+    },
+    /// The whole grid is covered and `report.json` is durable.
+    CampaignComplete {
+        /// Campaign name.
+        campaign: String,
+        /// Jobs done.
+        completed: usize,
+        /// Jobs quarantined.
+        quarantined: usize,
+        /// Report path relative to the campaign state dir.
+        report: String,
+    },
+}
+
+/// Every message `renuca-campaignd-v1` defines, in typed form.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// `hello proto=… tenant=…`
+    Hello {
+        /// Offered protocol id.
+        proto: String,
+        /// Tenant identity.
+        tenant: String,
+    },
+    /// `hello-ok proto=…`
+    HelloOk {
+        /// Accepted protocol id.
+        proto: String,
+    },
+    /// Raw `renuca-campaign-v1` spec text.
+    Submit {
+        /// The spec document, verbatim.
+        spec_text: String,
+    },
+    /// `submitted campaign=… fingerprint=… grid=… pending=… report=…`
+    Submitted {
+        /// Campaign name from the spec.
+        campaign: String,
+        /// Spec fingerprint (FNV-1a of the spec text).
+        fingerprint: u64,
+        /// Total grid size.
+        grid: usize,
+        /// Jobs not yet done/quarantined.
+        pending: usize,
+        /// Whether the report already exists.
+        report: bool,
+    },
+    /// `status [campaign=…]`
+    Status {
+        /// Restrict to one campaign, or all of the tenant's.
+        campaign: Option<String>,
+    },
+    /// Snapshot of campaign progress.
+    StatusReply {
+        /// Per-campaign progress, in lexicographic name order.
+        campaigns: Vec<CampaignStatus>,
+        /// Quarantined jobs of those campaigns.
+        quarantines: Vec<QuarantineStatus>,
+    },
+    /// `subscribe [campaign=…]`
+    Subscribe {
+        /// Restrict the event stream to one campaign.
+        campaign: Option<String>,
+    },
+    /// A pushed completion event.
+    Event(Event),
+    /// `busy reason=… retry_ms=…` — admission refused, retry later.
+    Busy {
+        /// `queue-full` or `tenant-quota`.
+        reason: String,
+        /// Suggested client backoff in milliseconds.
+        retry_ms: u64,
+    },
+    /// `error code=… msg=…`
+    Error {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// `ping token=…`
+    Ping {
+        /// Echo token.
+        token: u64,
+    },
+    /// `pong token=…`
+    Pong {
+        /// Echoed token.
+        token: u64,
+    },
+}
+
+impl Msg {
+    /// Serialise to `(frame type code, payload text)`.
+    pub fn encode(&self) -> (u8, String) {
+        match self {
+            Msg::Hello { proto, tenant } => {
+                (MSG_HELLO, format!("hello proto={proto} tenant={tenant}"))
+            }
+            Msg::HelloOk { proto } => (MSG_HELLO_OK, format!("hello-ok proto={proto}")),
+            Msg::Submit { spec_text } => (MSG_SUBMIT, spec_text.clone()),
+            Msg::Submitted {
+                campaign,
+                fingerprint,
+                grid,
+                pending,
+                report,
+            } => (
+                MSG_SUBMITTED,
+                format!(
+                    "submitted campaign={campaign} fingerprint={fingerprint:016x} \
+                     grid={grid} pending={pending} report={}",
+                    u8::from(*report)
+                ),
+            ),
+            Msg::Status { campaign } => match campaign {
+                Some(c) => (MSG_STATUS, format!("status campaign={c}")),
+                None => (MSG_STATUS, "status".to_string()),
+            },
+            Msg::StatusReply {
+                campaigns,
+                quarantines,
+            } => {
+                let mut lines = vec![format!("status-reply campaigns={}", campaigns.len())];
+                for c in campaigns {
+                    lines.push(format!(
+                        "campaign name={} grid={} done={} quarantined={} pending={} report={}",
+                        c.name,
+                        c.grid,
+                        c.done,
+                        c.quarantined,
+                        c.pending,
+                        u8::from(c.report)
+                    ));
+                }
+                for q in quarantines {
+                    lines.push(format!(
+                        "quarantine campaign={} id={} attempts={} payload={}",
+                        q.campaign,
+                        q.id,
+                        q.attempts,
+                        escape(&q.payload)
+                    ));
+                }
+                (MSG_STATUS_REPLY, lines.join("\n"))
+            }
+            Msg::Subscribe { campaign } => match campaign {
+                Some(c) => (MSG_SUBSCRIBE, format!("subscribe campaign={c}")),
+                None => (MSG_SUBSCRIBE, "subscribe".to_string()),
+            },
+            Msg::Event(e) => {
+                let text = match e {
+                    Event::JobDone {
+                        campaign,
+                        id,
+                        manifest,
+                        key,
+                    } => format!(
+                        "event kind=job-done campaign={campaign} id={id} \
+                         manifest={} key={}",
+                        escape(manifest),
+                        escape(key)
+                    ),
+                    Event::JobQuarantined {
+                        campaign,
+                        id,
+                        attempts,
+                        payload,
+                    } => format!(
+                        "event kind=job-quarantined campaign={campaign} id={id} \
+                         attempts={attempts} payload={}",
+                        escape(payload)
+                    ),
+                    Event::CampaignComplete {
+                        campaign,
+                        completed,
+                        quarantined,
+                        report,
+                    } => format!(
+                        "event kind=campaign-complete campaign={campaign} \
+                         completed={completed} quarantined={quarantined} report={}",
+                        escape(report)
+                    ),
+                };
+                (MSG_EVENT, text)
+            }
+            Msg::Busy { reason, retry_ms } => (
+                MSG_BUSY,
+                format!("busy reason={reason} retry_ms={retry_ms}"),
+            ),
+            Msg::Error { code, msg } => (
+                MSG_ERROR,
+                format!("error code={} msg={}", code.as_str(), escape(msg)),
+            ),
+            Msg::Ping { token } => (MSG_PING, format!("ping token={token}")),
+            Msg::Pong { token } => (MSG_PONG, format!("pong token={token}")),
+        }
+    }
+
+    /// Parse a payload of the given frame type. `None` means the payload
+    /// does not conform to the grammar for that type (→ `E_MALFORMED`).
+    pub fn decode(msg_type: u8, payload: &str) -> Option<Msg> {
+        match msg_type {
+            MSG_SUBMIT => Some(Msg::Submit {
+                spec_text: payload.to_string(),
+            }),
+            MSG_HELLO => {
+                let rest = payload.strip_prefix("hello ")?;
+                let f = split_fields(rest, &["proto", "tenant"])?;
+                one_line(payload)?;
+                Some(Msg::Hello {
+                    proto: f[0].to_string(),
+                    tenant: f[1].to_string(),
+                })
+            }
+            MSG_HELLO_OK => {
+                let rest = payload.strip_prefix("hello-ok ")?;
+                let f = split_fields(rest, &["proto"])?;
+                one_line(payload)?;
+                Some(Msg::HelloOk {
+                    proto: f[0].to_string(),
+                })
+            }
+            MSG_SUBMITTED => {
+                let rest = payload.strip_prefix("submitted ")?;
+                let f = split_fields(
+                    rest,
+                    &["campaign", "fingerprint", "grid", "pending", "report"],
+                )?;
+                one_line(payload)?;
+                Some(Msg::Submitted {
+                    campaign: f[0].to_string(),
+                    fingerprint: u64::from_str_radix(f[1], 16).ok()?,
+                    grid: f[2].parse().ok()?,
+                    pending: f[3].parse().ok()?,
+                    report: parse_bool(f[4])?,
+                })
+            }
+            MSG_STATUS => {
+                one_line(payload)?;
+                if payload == "status" {
+                    return Some(Msg::Status { campaign: None });
+                }
+                let rest = payload.strip_prefix("status ")?;
+                let f = split_fields(rest, &["campaign"])?;
+                Some(Msg::Status {
+                    campaign: Some(f[0].to_string()),
+                })
+            }
+            MSG_STATUS_REPLY => {
+                let mut lines = payload.lines();
+                let head = lines.next()?.strip_prefix("status-reply ")?;
+                let n: usize = split_fields(head, &["campaigns"])?[0].parse().ok()?;
+                let mut campaigns = Vec::with_capacity(n);
+                let mut quarantines = Vec::new();
+                for line in lines {
+                    if let Some(rest) = line.strip_prefix("campaign ") {
+                        let f = split_fields(
+                            rest,
+                            &["name", "grid", "done", "quarantined", "pending", "report"],
+                        )?;
+                        campaigns.push(CampaignStatus {
+                            name: f[0].to_string(),
+                            grid: f[1].parse().ok()?,
+                            done: f[2].parse().ok()?,
+                            quarantined: f[3].parse().ok()?,
+                            pending: f[4].parse().ok()?,
+                            report: parse_bool(f[5])?,
+                        });
+                    } else if let Some(rest) = line.strip_prefix("quarantine ") {
+                        let f = split_fields(rest, &["campaign", "id", "attempts", "payload"])?;
+                        quarantines.push(QuarantineStatus {
+                            campaign: f[0].to_string(),
+                            id: f[1].to_string(),
+                            attempts: f[2].parse().ok()?,
+                            payload: unescape(f[3]),
+                        });
+                    } else {
+                        return None;
+                    }
+                }
+                if campaigns.len() != n {
+                    return None;
+                }
+                Some(Msg::StatusReply {
+                    campaigns,
+                    quarantines,
+                })
+            }
+            MSG_SUBSCRIBE => {
+                one_line(payload)?;
+                if payload == "subscribe" {
+                    return Some(Msg::Subscribe { campaign: None });
+                }
+                let rest = payload.strip_prefix("subscribe ")?;
+                let f = split_fields(rest, &["campaign"])?;
+                Some(Msg::Subscribe {
+                    campaign: Some(f[0].to_string()),
+                })
+            }
+            MSG_EVENT => {
+                one_line(payload)?;
+                let rest = payload.strip_prefix("event kind=")?;
+                let (kind, rest) = rest.split_once(' ')?;
+                let event = match kind {
+                    "job-done" => {
+                        let f = split_fields(rest, &["campaign", "id", "manifest", "key"])?;
+                        // `manifest` is not the last field, so it was
+                        // emitted escaped but must be space-free; unescape
+                        // is still correct (paths contain no spaces).
+                        Event::JobDone {
+                            campaign: f[0].to_string(),
+                            id: f[1].to_string(),
+                            manifest: unescape(f[2]),
+                            key: unescape(f[3]),
+                        }
+                    }
+                    "job-quarantined" => {
+                        let f = split_fields(rest, &["campaign", "id", "attempts", "payload"])?;
+                        Event::JobQuarantined {
+                            campaign: f[0].to_string(),
+                            id: f[1].to_string(),
+                            attempts: f[2].parse().ok()?,
+                            payload: unescape(f[3]),
+                        }
+                    }
+                    "campaign-complete" => {
+                        let f = split_fields(
+                            rest,
+                            &["campaign", "completed", "quarantined", "report"],
+                        )?;
+                        Event::CampaignComplete {
+                            campaign: f[0].to_string(),
+                            completed: f[1].parse().ok()?,
+                            quarantined: f[2].parse().ok()?,
+                            report: unescape(f[3]),
+                        }
+                    }
+                    _ => return None,
+                };
+                Some(Msg::Event(event))
+            }
+            MSG_BUSY => {
+                one_line(payload)?;
+                let rest = payload.strip_prefix("busy ")?;
+                let f = split_fields(rest, &["reason", "retry_ms"])?;
+                Some(Msg::Busy {
+                    reason: f[0].to_string(),
+                    retry_ms: f[1].parse().ok()?,
+                })
+            }
+            MSG_ERROR => {
+                one_line(payload)?;
+                let rest = payload.strip_prefix("error ")?;
+                let f = split_fields(rest, &["code", "msg"])?;
+                Some(Msg::Error {
+                    code: ErrorCode::parse(f[0])?,
+                    msg: unescape(f[1]),
+                })
+            }
+            MSG_PING => {
+                one_line(payload)?;
+                let rest = payload.strip_prefix("ping ")?;
+                let f = split_fields(rest, &["token"])?;
+                Some(Msg::Ping {
+                    token: f[0].parse().ok()?,
+                })
+            }
+            MSG_PONG => {
+                one_line(payload)?;
+                let rest = payload.strip_prefix("pong ")?;
+                let f = split_fields(rest, &["token"])?;
+                Some(Msg::Pong {
+                    token: f[0].parse().ok()?,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Single-record payloads must not smuggle extra lines.
+fn one_line(payload: &str) -> Option<()> {
+    (!payload.contains('\n')).then_some(())
+}
+
+fn parse_bool(word: &str) -> Option<bool> {
+    match word {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+/// Naming rule shared by tenants and campaigns (`docs/protocol.md` §4):
+/// `[A-Za-z0-9_.-]{1,64}`, not starting with `.` — safe as a single state
+/// directory component.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::frame::PROTO_ID;
+    use super::*;
+
+    fn sample_msgs() -> Vec<Msg> {
+        vec![
+            Msg::Hello {
+                proto: PROTO_ID.to_string(),
+                tenant: "alice".to_string(),
+            },
+            Msg::HelloOk {
+                proto: PROTO_ID.to_string(),
+            },
+            Msg::Submit {
+                spec_text: "renuca-campaign-v1\nname tiny\nschemes all\nworkloads 1\n".to_string(),
+            },
+            Msg::Submitted {
+                campaign: "tiny".to_string(),
+                fingerprint: 0xdead_beef_0123_4567,
+                grid: 40,
+                pending: 12,
+                report: false,
+            },
+            Msg::Status { campaign: None },
+            Msg::Status {
+                campaign: Some("fig3".to_string()),
+            },
+            Msg::StatusReply {
+                campaigns: vec![CampaignStatus {
+                    name: "fig3".to_string(),
+                    grid: 40,
+                    done: 39,
+                    quarantined: 1,
+                    pending: 0,
+                    report: true,
+                }],
+                quarantines: vec![QuarantineStatus {
+                    campaign: "fig3".to_string(),
+                    id: "j0123456789abcdef".to_string(),
+                    attempts: 3,
+                    payload: "index out of bounds:\nthe len is 4".to_string(),
+                }],
+            },
+            Msg::Subscribe { campaign: None },
+            Msg::Subscribe {
+                campaign: Some("fig3".to_string()),
+            },
+            Msg::Event(Event::JobDone {
+                campaign: "fig3".to_string(),
+                id: "jfedcba9876543210".to_string(),
+                manifest: "jobs/jfedcba9876543210.json".to_string(),
+                key: "x=3/scheme=S-NUCA/wl=1".to_string(),
+            }),
+            Msg::Event(Event::JobQuarantined {
+                campaign: "fig3".to_string(),
+                id: "j0123456789abcdef".to_string(),
+                attempts: 3,
+                payload: "weird \\ payload = with\r\nnewlines".to_string(),
+            }),
+            Msg::Event(Event::CampaignComplete {
+                campaign: "fig3".to_string(),
+                completed: 39,
+                quarantined: 1,
+                report: "report.json".to_string(),
+            }),
+            Msg::Busy {
+                reason: "queue-full".to_string(),
+                retry_ms: 250,
+            },
+            Msg::Error {
+                code: ErrorCode::Spec,
+                msg: "line 3: unknown directive \"frobnicate\"".to_string(),
+            },
+            Msg::Ping { token: 7 },
+            Msg::Pong { token: 7 },
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in sample_msgs() {
+            let (t, payload) = msg.encode();
+            let back = Msg::decode(t, &payload)
+                .unwrap_or_else(|| panic!("decode of encoded {msg:?} ({payload:?})"));
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn wrong_type_or_grammar_is_rejected() {
+        // Right payload under the wrong type code.
+        assert_eq!(Msg::decode(MSG_PONG, "ping token=7"), None);
+        // Missing, reordered and trailing-junk fields.
+        assert_eq!(Msg::decode(MSG_HELLO, "hello tenant=t proto=x"), None);
+        assert_eq!(Msg::decode(MSG_HELLO, "hello proto=x"), None);
+        assert_eq!(Msg::decode(MSG_PING, "ping token=7x"), None);
+        assert_eq!(Msg::decode(MSG_BUSY, "busy reason=queue-full"), None);
+        // Multi-line where one record is required.
+        assert_eq!(Msg::decode(MSG_PING, "ping token=7\nping token=8"), None);
+        // Status-reply record count must match its header.
+        assert_eq!(
+            Msg::decode(MSG_STATUS_REPLY, "status-reply campaigns=1"),
+            None
+        );
+        // Unknown event kind.
+        assert_eq!(
+            Msg::decode(MSG_EVENT, "event kind=zap campaign=c x=1"),
+            None
+        );
+    }
+
+    #[test]
+    fn name_rule() {
+        assert!(valid_name("alice"));
+        assert!(valid_name("fig3"));
+        assert!(valid_name("a-b_c.d"));
+        assert!(!valid_name(""));
+        assert!(!valid_name(".hidden"));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name("a b"));
+        assert!(!valid_name(&"x".repeat(65)));
+        assert!(valid_name(&"x".repeat(64)));
+    }
+}

@@ -1,0 +1,409 @@
+//! End-to-end tests for `campaignd`: report parity with the CLI path,
+//! SIGKILL-and-restart recovery of the real binary, deterministic BUSY
+//! backpressure, multi-tenant isolation, and wire-level order errors.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use campaign::scheduler::{self, RunOptions};
+use campaign::serve::frame::{decode_frame, encode_frame, Decoded, MSG_STATUS};
+use campaign::serve::proto::ErrorCode;
+use campaign::serve::{Client, Daemon, DaemonConfig, Event, Msg};
+use campaign::CampaignSpec;
+
+/// 1 threshold × 2 schemes × 2 mixes on the small machine = 4 jobs.
+const SPEC: &str = "\
+renuca-campaign-v1
+name served
+config small 4
+budget warmup=50 measure=300
+schemes S-NUCA Re-NUCA
+workloads 1 2
+thresholds 25
+retries 1
+backoff-ms 1
+";
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("campaignd-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn rename(spec: &str, name: &str) -> String {
+    spec.replace("name served", &format!("name {name}"))
+}
+
+/// Run the CLI/scheduler path to completion and return the report bytes.
+fn baseline(spec_text: &str) -> Vec<u8> {
+    let spec = CampaignSpec::parse(spec_text).unwrap();
+    let dir = tmp(&format!("baseline-{}", spec.name));
+    let outcome = scheduler::run(
+        &spec,
+        &dir,
+        RunOptions {
+            threads: 2,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    let bytes = fs::read(outcome.report.expect("baseline completes")).unwrap();
+    fs::remove_dir_all(&dir).unwrap();
+    bytes
+}
+
+/// Start an in-process daemon; returns (addr, shutdown flag, join handle).
+fn start_daemon(
+    config: DaemonConfig,
+) -> (
+    String,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<Result<(), String>>,
+) {
+    let daemon = Daemon::bind("127.0.0.1:0", config).unwrap();
+    let addr = daemon.local_addr().unwrap().to_string();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let handle = std::thread::spawn(move || daemon.run(flag));
+    (addr, shutdown, handle)
+}
+
+fn stop_daemon(shutdown: &Arc<AtomicBool>, handle: std::thread::JoinHandle<Result<(), String>>) {
+    shutdown.store(true, Ordering::SeqCst);
+    handle.join().unwrap().unwrap();
+}
+
+/// Submit through the daemon, stream events to completion, and require
+/// the report to be byte-identical to the scheduler/CLI path.
+#[test]
+fn daemon_report_matches_cli_report() {
+    let spec_text = rename(SPEC, "parity");
+    let expected = baseline(&spec_text);
+
+    let root = tmp("parity-root");
+    let mut config = DaemonConfig::for_root(root.clone());
+    config.workers = 2;
+    let (addr, shutdown, handle) = start_daemon(config);
+
+    let mut client = Client::connect(&addr, "alice").unwrap();
+    let (campaigns, _) = client.subscribe(None).unwrap();
+    assert!(campaigns.is_empty(), "fresh root has no campaigns");
+    match client.submit(&spec_text).unwrap() {
+        Msg::Submitted {
+            campaign,
+            grid,
+            pending,
+            report,
+            ..
+        } => {
+            assert_eq!(campaign, "parity");
+            assert_eq!((grid, pending, report), (4, 4, false));
+        }
+        other => panic!("unexpected submit reply: {other:?}"),
+    }
+
+    let mut done = 0;
+    loop {
+        match client.next_event().unwrap() {
+            Event::JobDone { campaign, .. } => {
+                assert_eq!(campaign, "parity");
+                done += 1;
+            }
+            Event::JobQuarantined { id, .. } => panic!("unexpected quarantine of {id}"),
+            Event::CampaignComplete {
+                campaign,
+                completed,
+                quarantined,
+                report,
+            } => {
+                assert_eq!(campaign, "parity");
+                assert_eq!((completed, quarantined), (4, 0));
+                assert_eq!(report, "report.json");
+                break;
+            }
+        }
+    }
+    assert_eq!(done, 4, "one job-done event per grid cell");
+
+    let produced = fs::read(root.join("alice/parity/report.json")).unwrap();
+    assert_eq!(produced, expected, "daemon report must match the CLI path");
+
+    // Status reflects completion; re-submit of the same spec is an
+    // idempotent acknowledgement, not a new campaign.
+    let (campaigns, quarantines) = client.status(Some("parity")).unwrap();
+    assert_eq!(campaigns.len(), 1);
+    let c = &campaigns[0];
+    assert_eq!((c.done, c.grid, c.pending, c.report), (4, 4, 0, true));
+    assert!(quarantines.is_empty());
+    match client.submit(&spec_text).unwrap() {
+        Msg::Submitted {
+            pending, report, ..
+        } => assert_eq!((pending, report), (0, true)),
+        other => panic!("unexpected re-submit reply: {other:?}"),
+    }
+
+    stop_daemon(&shutdown, handle);
+    fs::remove_dir_all(&root).unwrap();
+}
+
+/// Quarantined jobs flow through events and the daemon status reply with
+/// ids and panic payloads.
+#[test]
+fn daemon_surfaces_quarantines_in_status() {
+    let spec_text = format!("{}inject-fail 2 5\n", rename(SPEC, "qtest"));
+    let root = tmp("quarantine-root");
+    let mut config = DaemonConfig::for_root(root.clone());
+    config.workers = 2;
+    let (addr, shutdown, handle) = start_daemon(config);
+
+    let mut client = Client::connect(&addr, "alice").unwrap();
+    client.subscribe(None).unwrap();
+    client.submit(&spec_text).unwrap();
+    let mut quarantined = 0;
+    loop {
+        match client.next_event().unwrap() {
+            Event::JobQuarantined { payload, .. } => {
+                assert!(payload.contains("injected failure: wl=2"), "{payload}");
+                quarantined += 1;
+            }
+            Event::CampaignComplete {
+                completed,
+                quarantined: q,
+                ..
+            } => {
+                assert_eq!((completed, q), (2, 2));
+                break;
+            }
+            Event::JobDone { .. } => {}
+        }
+    }
+    assert_eq!(quarantined, 2);
+
+    let (_, quarantines) = client.status(Some("qtest")).unwrap();
+    assert_eq!(quarantines.len(), 2);
+    for q in &quarantines {
+        assert!(q.id.starts_with('j') && q.id.len() == 17, "{:?}", q.id);
+        assert_eq!(q.attempts, 2);
+        assert!(
+            q.payload.contains("injected failure: wl=2"),
+            "{}",
+            q.payload
+        );
+    }
+
+    stop_daemon(&shutdown, handle);
+    fs::remove_dir_all(&root).unwrap();
+}
+
+/// Admission control under saturation: with zero workers nothing drains,
+/// so bounds are hit deterministically. The daemon must answer BUSY —
+/// never drop the submission silently, never wedge the connection.
+#[test]
+fn saturated_daemon_replies_busy_and_stays_live() {
+    let root = tmp("busy-root");
+    let mut config = DaemonConfig::for_root(root.clone());
+    config.workers = 0; // accept-only drain mode
+    config.max_pending_jobs = 10;
+    config.max_pending_per_tenant = 4;
+    let (addr, shutdown, handle) = start_daemon(config);
+
+    let mut alice = Client::connect(&addr, "alice").unwrap();
+    // 4 jobs fit exactly into alice's quota.
+    match alice.submit(&rename(SPEC, "fill")).unwrap() {
+        Msg::Submitted { pending, .. } => assert_eq!(pending, 4),
+        other => panic!("first submit must be admitted: {other:?}"),
+    }
+    // A second campaign would exceed the per-tenant quota (global still
+    // has room: 8 ≤ 10).
+    match alice.submit(&rename(SPEC, "over-tenant")).unwrap() {
+        Msg::Busy { reason, retry_ms } => {
+            assert_eq!(reason, "tenant-quota");
+            assert!(retry_ms > 0);
+        }
+        other => panic!("expected tenant-quota busy: {other:?}"),
+    }
+    // A second tenant still fits (global 8 ≤ 10)...
+    let mut bob = Client::connect(&addr, "bob").unwrap();
+    match bob.submit(&rename(SPEC, "bob-fill")).unwrap() {
+        Msg::Submitted { pending, .. } => assert_eq!(pending, 4),
+        other => panic!("bob's first submit must be admitted: {other:?}"),
+    }
+    // ...but a third tenant trips the global bound (8 + 4 > 10).
+    let mut carol = Client::connect(&addr, "carol").unwrap();
+    match carol.submit(&rename(SPEC, "over-global")).unwrap() {
+        Msg::Busy { reason, .. } => assert_eq!(reason, "queue-full"),
+        other => panic!("expected queue-full busy: {other:?}"),
+    }
+    // BUSY left no state behind: nothing on disk, nothing queued.
+    assert!(!root.join("alice/over-tenant").exists());
+    assert!(!root.join("carol/over-global").exists());
+
+    // The refused connections are still fully usable.
+    alice.ping(1).unwrap();
+    bob.ping(2).unwrap();
+    let (campaigns, _) = alice.status(None).unwrap();
+    assert_eq!(campaigns.len(), 1, "only the admitted campaign exists");
+    // Re-submitting the admitted campaign is still an idempotent ack.
+    match alice.submit(&rename(SPEC, "fill")).unwrap() {
+        Msg::Submitted { pending, .. } => assert_eq!(pending, 4),
+        other => panic!("re-submit of admitted campaign: {other:?}"),
+    }
+
+    stop_daemon(&shutdown, handle);
+    fs::remove_dir_all(&root).unwrap();
+}
+
+/// Two tenants' campaigns both run to completion and land in separate
+/// state directories; neither sees the other's campaigns or events.
+#[test]
+fn tenants_are_isolated() {
+    let root = tmp("isolation-root");
+    let mut config = DaemonConfig::for_root(root.clone());
+    config.workers = 2;
+    let (addr, shutdown, handle) = start_daemon(config);
+
+    let mut alice = Client::connect(&addr, "alice").unwrap();
+    let mut bob = Client::connect(&addr, "bob").unwrap();
+    alice.subscribe(None).unwrap();
+    bob.subscribe(None).unwrap();
+    alice.submit(&rename(SPEC, "mine")).unwrap();
+    bob.submit(&rename(SPEC, "theirs")).unwrap();
+
+    for (client, own) in [(&mut alice, "mine"), (&mut bob, "theirs")] {
+        loop {
+            match client.next_event().unwrap() {
+                Event::CampaignComplete { campaign, .. } => {
+                    assert_eq!(campaign, own, "event leaked across tenants");
+                    break;
+                }
+                Event::JobDone { campaign, .. } => assert_eq!(campaign, own),
+                Event::JobQuarantined { id, .. } => panic!("unexpected quarantine {id}"),
+            }
+        }
+        let (campaigns, _) = client.status(None).unwrap();
+        assert_eq!(campaigns.len(), 1, "status must not leak across tenants");
+        assert_eq!(campaigns[0].name, own);
+    }
+    assert!(root.join("alice/mine/report.json").exists());
+    assert!(root.join("bob/theirs/report.json").exists());
+
+    stop_daemon(&shutdown, handle);
+    fs::remove_dir_all(&root).unwrap();
+}
+
+/// Wire discipline: a request before `hello` is an `E_ORDER` error and
+/// the daemon closes the connection.
+#[test]
+fn request_before_hello_is_an_order_error() {
+    let root = tmp("order-root");
+    let mut config = DaemonConfig::for_root(root.clone());
+    config.workers = 0;
+    let (addr, shutdown, handle) = start_daemon(config);
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(&encode_frame(MSG_STATUS, "status"))
+        .unwrap();
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap(); // daemon replies then closes
+    match decode_frame(&buf) {
+        Decoded::Frame {
+            msg_type, payload, ..
+        } => match Msg::decode(msg_type, &payload) {
+            Some(Msg::Error { code, .. }) => assert_eq!(code, ErrorCode::Order),
+            other => panic!("expected E_ORDER, got {other:?}"),
+        },
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+
+    stop_daemon(&shutdown, handle);
+    fs::remove_dir_all(&root).unwrap();
+}
+
+/// The headline durability property, against the real binary: SIGKILL
+/// `campaignd` mid-campaign, start a fresh daemon on the same root, and
+/// the finished report is byte-identical to an uninterrupted CLI run.
+#[test]
+fn sigkill_daemon_mid_campaign_then_restart_resumes() {
+    use std::process::{Command, Stdio};
+
+    let spec_text = rename(SPEC, "survivor");
+    let expected = baseline(&spec_text);
+    let root = tmp("sigkill-root");
+    let bin = env!("CARGO_BIN_EXE_campaignd");
+
+    let spawn = |root: &Path| -> (std::process::Child, String) {
+        let mut child = Command::new(bin)
+            .args(["--listen", "127.0.0.1:0", "--workers", "1", "--root"])
+            .arg(root)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        let mut line = String::new();
+        BufReader::new(child.stdout.take().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        // "campaignd listening on <addr> (root ..., workers ...)"
+        let addr = line
+            .split_whitespace()
+            .nth(3)
+            .unwrap_or_else(|| panic!("unparseable banner {line:?}"))
+            .to_string();
+        (child, addr)
+    };
+
+    let (mut child, addr) = spawn(&root);
+    let mut client = Client::connect_retry(&addr, "alice", Duration::from_secs(10)).unwrap();
+    client.submit(&spec_text).unwrap();
+    // Wait for *some* progress so the kill lands mid-campaign, then
+    // SIGKILL without warning. Correctness must not depend on where it
+    // lands — the journal's torn-tail repair covers every byte offset.
+    let start = Instant::now();
+    loop {
+        let (campaigns, _) = client.status(Some("survivor")).unwrap();
+        if campaigns[0].done >= 1 {
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "no progress before kill"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().unwrap(); // SIGKILL on unix
+    child.wait().unwrap();
+    drop(client);
+
+    // A fresh daemon on the same root recovers the campaign with no
+    // client involvement and runs it to completion.
+    let (mut child, addr) = spawn(&root);
+    let mut client = Client::connect_retry(&addr, "alice", Duration::from_secs(10)).unwrap();
+    let start = Instant::now();
+    loop {
+        let (campaigns, quarantines) = client.status(Some("survivor")).unwrap();
+        assert!(quarantines.is_empty());
+        if campaigns[0].report {
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(120),
+            "recovered campaign did not finish"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let produced = fs::read(root.join("alice/survivor/report.json")).unwrap();
+    assert_eq!(
+        produced, expected,
+        "post-crash report must be byte-identical to the uninterrupted run"
+    );
+    fs::remove_dir_all(&root).unwrap();
+}

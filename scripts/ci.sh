@@ -99,6 +99,61 @@ if ! cmp -s "$CAMP_TMP/a/report.json" "$CAMP_TMP/b/report.json"; then
 fi
 echo "campaign smoke OK ($(wc -c < "$CAMP_TMP/a/report.json") byte report)"
 
+echo "== daemon smoke: campaignd serves fig3 byte-identically to the CLI =="
+DAEMON_TMP="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+    rm -f "$MANIFEST"
+    rm -rf "$CAMP_TMP" "$DAEMON_TMP"
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+# fig3.campaign carries no budget line, so the budget comes from the
+# environment — shrink it identically for the daemon and the CLI run.
+RENUCA_WARMUP=50 RENUCA_MEASURE=300 \
+    ./target/release/campaignd --listen 127.0.0.1:0 \
+    --root "$DAEMON_TMP/root" --workers 2 \
+    >"$DAEMON_TMP/banner" 2>"$DAEMON_TMP/stderr" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$DAEMON_TMP/banner" 2>/dev/null && break
+    sleep 0.1
+done
+ADDR="$(awk '/listening on/ {print $4; exit}' "$DAEMON_TMP/banner")"
+if [ -z "$ADDR" ]; then
+    echo "daemon smoke FAILED: campaignd printed no listen banner"
+    cat "$DAEMON_TMP/stderr"
+    exit 1
+fi
+./target/release/campaign-client submit campaigns/fig3.campaign \
+    --addr "$ADDR" --tenant ci >/dev/null
+./target/release/campaign-client watch fig3 \
+    --addr "$ADDR" --tenant ci --timeout-s 600 >/dev/null
+./target/release/campaign-client status --addr "$ADDR" --tenant ci >/dev/null
+kill -9 "$DAEMON_PID" 2>/dev/null
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+RENUCA_WARMUP=50 RENUCA_MEASURE=300 \
+    ./target/release/campaign run campaigns/fig3.campaign \
+    --out "$DAEMON_TMP/cli" --threads 2 >/dev/null 2>&1
+if ! cmp -s "$DAEMON_TMP/root/ci/fig3/report.json" "$DAEMON_TMP/cli/report.json"; then
+    echo "daemon smoke FAILED: daemon report differs from CLI report"
+    exit 1
+fi
+echo "daemon smoke OK ($(wc -c < "$DAEMON_TMP/root/ci/fig3/report.json") byte report)"
+
+echo "== docs gate: protocol.md names every frame codec constant =="
+DOCS_MISSING=0
+for c in $(grep -oE 'MSG_[A-Z_]+' crates/campaign/src/serve/frame.rs | sort -u) \
+         renuca-campaignd-v1; do
+    if ! grep -q "$c" docs/protocol.md; then
+        echo "docs gate FAILED: $c is in the codec but not in docs/protocol.md"
+        DOCS_MISSING=1
+    fi
+done
+[ "$DOCS_MISSING" -eq 0 ] || exit 1
+echo "docs gate OK"
+
 echo "== bench targets compile =="
 cargo build --benches --release --workspace
 
