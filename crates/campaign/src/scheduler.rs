@@ -415,6 +415,8 @@ fn simulate_and_emit(spec: &CampaignSpec, dir: &Path, job: &Job) -> u64 {
         reg.set("job.workload", job.workload as u64);
         reg.set("job.threshold_pct", job.threshold_pct);
         reg.set("job.ipc", r.total_ipc());
+        reg.set("wear.interset_cv", r.wear.interset_cv(cfg.l3_bank.assoc));
+        reg.set("wear.intraset_cv", r.wear.intraset_cv(cfg.l3_bank.assoc));
         for (b, w) in r.bank_writes.iter().enumerate() {
             reg.set(format!("job.bank_writes[{b}]"), *w);
         }

@@ -91,6 +91,31 @@ const F_VALID: u8 = 1 << 0;
 /// Per-line state flag: line holds modified data (needs writeback).
 const F_DIRTY: u8 = 1 << 1;
 
+/// Victim-selection policy of a [`SetAssocCache`].
+///
+/// Placement schemes choose the replacement of the L3 banks they drive via
+/// [`crate::placement::LlcPlacement::l3_replacement`]; everything else
+/// (L1/L2/TLB arrays) stays true-LRU. All kinds share the same tie-break
+/// discipline: ways are scanned in order and a candidate only displaces the
+/// current victim on a *strictly* smaller stamp, so victim choice is a pure
+/// function of the set's contents — the golden model mirrors it exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReplacementKind {
+    /// True LRU: first invalid way, else the smallest stamp.
+    #[default]
+    Lru,
+    /// MAC-style write-aware replacement (Ruan et al., arXiv:1606.03248):
+    /// prefer evicting *clean* lines so dirty victims — each of which costs
+    /// a ReRAM write somewhere below — stay resident longer. Victim levels:
+    /// invalid way, else LRU among clean lines, else LRU among dirty lines.
+    WriteAware,
+    /// Deliberately wrong twin of [`ReplacementKind::WriteAware`] that
+    /// prefers evicting *dirty* lines first. Exists only as the injected
+    /// bug for the MAC mutation self-check (`experiments::diff`); never
+    /// built by a production scheme.
+    DirtyFirst,
+}
+
 /// A set-associative, write-back, write-allocate cache array.
 ///
 /// Per-line metadata is stored structure-of-arrays: parallel `tags` /
@@ -104,6 +129,8 @@ pub struct SetAssocCache {
     assoc: usize,
     set_mask: u64,
     hash_index: bool,
+    /// Victim-selection policy (see [`ReplacementKind`]).
+    replacement: ReplacementKind,
     /// Intra-bank wear-leveling rotation: logical set `s` lives in physical
     /// row `(s + set_shift) % sets`. Rotating the shift migrates hot sets
     /// across the physical array — the i2wap-style inter-set leveling the
@@ -128,6 +155,17 @@ impl SetAssocCache {
     /// indexing (recommended for L3 banks, where the low line bits select
     /// the bank under S-NUCA and must not starve sets).
     pub fn new(geo: CacheGeometry, hash_index: bool) -> Self {
+        Self::with_replacement(geo, hash_index, ReplacementKind::Lru)
+    }
+
+    /// Build a cache with an explicit victim-selection policy. Used by the
+    /// hierarchy for L3 banks, whose replacement is chosen by the placement
+    /// scheme; `new` keeps every other array on true LRU.
+    pub fn with_replacement(
+        geo: CacheGeometry,
+        hash_index: bool,
+        replacement: ReplacementKind,
+    ) -> Self {
         let sets = geo.sets();
         let slots = sets * geo.assoc;
         SetAssocCache {
@@ -135,6 +173,7 @@ impl SetAssocCache {
             assoc: geo.assoc,
             set_mask: sets as u64 - 1,
             hash_index,
+            replacement,
             set_shift: 0,
             tags: vec![0; slots],
             flags: vec![0; slots],
@@ -142,6 +181,11 @@ impl SetAssocCache {
             clock: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    /// The victim-selection policy this array was built with.
+    pub fn replacement(&self) -> ReplacementKind {
+        self.replacement
     }
 
     /// Number of sets.
@@ -252,20 +296,7 @@ impl SetAssocCache {
             matches!(self.probe(line), LookupResult::Miss),
             "fill of already-present line {line:#x}"
         );
-        // Victim: first invalid way, else the smallest stamp (true LRU).
-        let mut victim = 0;
-        let mut victim_stamp = u64::MAX;
-        for w in 0..self.assoc {
-            let slot = base + w;
-            if self.flags[slot] & F_VALID == 0 {
-                victim = w;
-                break;
-            }
-            if self.stamps[slot] < victim_stamp {
-                victim_stamp = self.stamps[slot];
-                victim = w;
-            }
-        }
+        let victim = self.pick_victim(base);
         let vslot = base + victim;
         let evicted = if self.flags[vslot] & F_VALID != 0 {
             let was_dirty = self.flags[vslot] & F_DIRTY != 0;
@@ -288,6 +319,40 @@ impl SetAssocCache {
             way: victim,
             evicted,
         }
+    }
+
+    /// Victim way for a fill into the set at `base`. Always an invalid way
+    /// first (in way order); past that, [`ReplacementKind`] decides which
+    /// valid lines are candidates before falling back to the rest.
+    fn pick_victim(&self, base: usize) -> usize {
+        for w in 0..self.assoc {
+            if self.flags[base + w] & F_VALID == 0 {
+                return w;
+            }
+        }
+        let lru_among = |want_dirty: Option<bool>| -> Option<usize> {
+            let mut victim = None;
+            let mut victim_stamp = u64::MAX;
+            for w in 0..self.assoc {
+                let slot = base + w;
+                if let Some(d) = want_dirty {
+                    if (self.flags[slot] & F_DIRTY != 0) != d {
+                        continue;
+                    }
+                }
+                if self.stamps[slot] < victim_stamp {
+                    victim_stamp = self.stamps[slot];
+                    victim = Some(w);
+                }
+            }
+            victim
+        };
+        match self.replacement {
+            ReplacementKind::Lru => lru_among(None),
+            ReplacementKind::WriteAware => lru_among(Some(false)).or_else(|| lru_among(None)),
+            ReplacementKind::DirtyFirst => lru_among(Some(true)).or_else(|| lru_among(None)),
+        }
+        .expect("full set has a victim")
     }
 
     /// Invalidate a line if present. Returns whether it was present and
@@ -461,6 +526,39 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn write_aware_prefers_clean_victims() {
+        // 4 sets x 2 ways; lines 0 and 4 share set 0, line 8 forces eviction.
+        let geo = CacheGeometry::symmetric(512, 2, 1);
+        let mut c = SetAssocCache::with_replacement(geo, false, ReplacementKind::WriteAware);
+        c.fill(0, true); // dirty, and LRU by stamp
+        c.fill(4, false); // clean, more recently used
+        let out = c.fill(8, false);
+        // True LRU would evict dirty line 0; write-aware spares it.
+        assert_eq!(
+            out.evicted,
+            Some(Eviction {
+                line: 4,
+                dirty: false
+            })
+        );
+        assert!(c.contains(0));
+        // With only dirty lines resident, it falls back to plain LRU.
+        c.access(8, true);
+        let out = c.fill(12, false);
+        assert_eq!(out.evicted.map(|e| e.line), Some(0));
+    }
+
+    #[test]
+    fn dirty_first_is_the_inverse_twin() {
+        let geo = CacheGeometry::symmetric(512, 2, 1);
+        let mut c = SetAssocCache::with_replacement(geo, false, ReplacementKind::DirtyFirst);
+        c.fill(0, false); // clean, LRU by stamp
+        c.fill(4, true); // dirty, more recently used
+        let out = c.fill(8, false);
+        assert_eq!(out.evicted.map(|e| e.line), Some(4), "evicts dirty first");
     }
 
     #[test]

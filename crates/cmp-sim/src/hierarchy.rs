@@ -235,8 +235,12 @@ impl MemoryHierarchy {
             l2: (0..cfg.n_cores)
                 .map(|_| SetAssocCache::new(cfg.l2, false))
                 .collect(),
+            // The placement scheme owns L3 victim selection (MAC swaps in
+            // write-aware replacement; everything else is true LRU).
             l3: (0..cfg.n_banks)
-                .map(|_| SetAssocCache::new(cfg.l3_bank, true))
+                .map(|_| {
+                    SetAssocCache::with_replacement(cfg.l3_bank, true, policy.l3_replacement())
+                })
                 .collect(),
             mesh,
             dram: Dram::new(cfg.dram),

@@ -59,6 +59,7 @@ pub mod table;
 pub mod tlb;
 pub mod types;
 
+pub use cache::ReplacementKind;
 pub use config::SystemConfig;
 pub use instr::{Instr, InstrSource};
 pub use placement::{AccessMeta, CriticalityPredictor, LlcAccessKind, LlcPlacement};

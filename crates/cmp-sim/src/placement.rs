@@ -6,6 +6,7 @@
 //! simulator is policy-agnostic; the concrete S-NUCA / R-NUCA / Private /
 //! Naive / Re-NUCA implementations live in the `renuca-core` crate.
 
+use crate::cache::ReplacementKind;
 use crate::types::{BankId, CoreId, Cycle, Pc};
 
 /// Why the LLC is being consulted about a line.
@@ -85,6 +86,15 @@ pub trait LlcPlacement {
     fn secondary_bank(&mut self, meta: &AccessMeta) -> Option<BankId> {
         let _ = meta;
         None
+    }
+
+    /// Victim-selection policy of the L3 banks this placement drives. The
+    /// hierarchy queries this once at construction; replacement-policy
+    /// schemes (MAC) override it while placement-only schemes keep the
+    /// default true LRU. This keeps replacement a property of the scheme —
+    /// no `SystemConfig` knob, no manifest churn.
+    fn l3_replacement(&self) -> ReplacementKind {
+        ReplacementKind::Lru
     }
 
     /// Concrete-type escape hatch for verification tooling: policies with

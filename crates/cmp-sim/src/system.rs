@@ -150,6 +150,12 @@ impl SimResult {
         self.dram.register(&mut reg, "dram");
         self.coherence.register(&mut reg, "coherence");
         self.wear.register(&mut reg, "wear", endurance);
+        // Write-variation CVs over the L3 slot geometry: inter-set (what
+        // coloring-style remaps flatten) and intra-set (what write-aware
+        // replacement flattens).
+        let assoc = self.config.l3_bank.assoc;
+        reg.set("wear.interset_cv", self.wear.interset_cv(assoc));
+        reg.set("wear.intraset_cv", self.wear.intraset_cv(assoc));
         reg
     }
 }

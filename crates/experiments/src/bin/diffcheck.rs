@@ -7,10 +7,12 @@
 //! diffcheck --replay FILE [--mutant]
 //! ```
 //!
-//! The default sweep is the acceptance corpus: 100 seeds × 5 schemes ×
-//! 2 mesh configs (pow2 and non-pow2) = 1000 differential replays, plus
-//! the metamorphic invariants and the mutation self-check. `--quick` is
-//! the bounded CI smoke variant. `--replay` re-runs a previously shrunk
+//! The default sweep is the acceptance corpus: 100 seeds × 8 schemes ×
+//! 2 mesh configs (pow2 and non-pow2) = 1600 differential replays, plus
+//! the metamorphic invariants and the per-scheme mutation self-checks
+//! (S-NUCA's wrapped mutant and the bugged twins of WEC, Coloring and
+//! MAC). `--quick` is the bounded CI smoke variant and runs the same
+//! mutation schemes. `--replay` re-runs a previously shrunk
 //! `renuca-trace-v1` file; add `--mutant` for traces produced by the
 //! mutation self-check (they only diverge under the injected bug).
 
@@ -163,18 +165,22 @@ fn main() -> ExitCode {
         }
     }
 
-    // 3. Mutation self-check: the harness must catch an injected bug.
-    match diff::mutation_check(42, args.ops.min(3000), &args.out) {
-        Ok(m) => println!(
-            "mutation check: caught ({}), shrunk {} -> {} ops, reproducer {}",
-            m.detail,
-            m.original_len,
-            m.minimal_len,
-            m.trace_path.display()
-        ),
-        Err(e) => {
-            failed = true;
-            println!("mutation check: FAILED — {e}");
+    // 3. Mutation self-checks: the harness must catch an injected bug in
+    // every scheme that ships one (wrapped mutant + bugged twins).
+    for scheme in diff::MUTATION_SCHEMES {
+        match diff::mutation_check(scheme, 42, args.ops.min(3000), &args.out) {
+            Ok(m) => println!(
+                "mutation check [{}]: caught ({}), shrunk {} -> {} ops, reproducer {}",
+                scheme.name(),
+                m.detail,
+                m.original_len,
+                m.minimal_len,
+                m.trace_path.display()
+            ),
+            Err(e) => {
+                failed = true;
+                println!("mutation check [{}]: FAILED — {e}", scheme.name());
+            }
         }
     }
 

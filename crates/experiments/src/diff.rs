@@ -21,9 +21,13 @@
 //! the `renuca-trace-v1` format (seed in the filename) for replay with
 //! `cargo run -p experiments --bin diffcheck -- --replay <file>`.
 //!
-//! [`mutation_check`] proves the harness has teeth: it wraps the S-NUCA
-//! policy in a `MutantPolicy` that deliberately mis-places a subset of
-//! lines, and demands that the harness catches the bug and shrinks it.
+//! [`mutation_check`] proves the harness has teeth, per scheme: the
+//! stateless schemes get a `MutantPolicy` wrapper that deliberately
+//! mis-places a subset of lines; the directory-backed competitors (WEC,
+//! Coloring, MAC) get internally-consistent bugged twins built into
+//! `renuca_core` (a skewed redirect target, an off-by-one epoch, an
+//! inverted replacement policy). In every case the harness must catch the
+//! injected bug and shrink it to a 1-minimal reproducer.
 //!
 //! The metamorphic checks ([`write_conservation`], [`snuca_shift_symmetry`],
 //! [`parallel_matches_serial`]) assert relations that must hold *across*
@@ -45,7 +49,9 @@ use golden::{
     generate, trace_to_text, GoldenCpt, GoldenEvent, GoldenEventKind, GoldenPolicy, GoldenScheme,
     GoldenSystem, TraceOp, TraceSpec,
 };
-use renuca_core::{Cpt, CptConfig, NaiveOracle, ReNuca, Scheme};
+use renuca_core::{
+    Coloring, Cpt, CptConfig, Mac, NaiveOracle, ReNuca, Scheme, Wec, COLORING_EPOCH,
+};
 use sim_stats::{StatsRegistry, TraceBuffer, TraceCategory, TraceEvent};
 
 use crate::pool::parallel_map_threads;
@@ -131,11 +137,11 @@ pub fn replay(
     run_diff(scheme, cfg, ops, false)
 }
 
-/// [`replay`] with the deliberate `MutantPolicy` placement bug injected
-/// into the real side — used by [`mutation_check`] to prove the harness
-/// catches real divergences. Only meaningful for stateless schemes
-/// (S-NUCA / R-NUCA / Private): the mutant's hooks pass twisted bank ids
-/// through to the inner policy.
+/// [`replay`] with a deliberate per-scheme bug injected into the real
+/// side — used by [`mutation_check`] to prove the harness catches real
+/// divergences. Stateless schemes (S-NUCA / R-NUCA / Private) get the
+/// `MutantPolicy` wrapper; WEC / Coloring / MAC get their bugged twins
+/// (see `inject_bug` for the dispatch).
 pub fn replay_mutated(
     scheme: Scheme,
     cfg: &SystemConfig,
@@ -198,6 +204,44 @@ impl LlcPlacement for MutantPolicy {
     fn lookup_overhead(&self) -> Cycle {
         self.inner.lookup_overhead()
     }
+
+    fn secondary_bank(&mut self, meta: &AccessMeta) -> Option<BankId> {
+        self.inner.secondary_bank(meta)
+    }
+
+    fn l3_replacement(&self) -> cmp_sim::cache::ReplacementKind {
+        self.inner.l3_replacement()
+    }
+}
+
+/// Per-scheme bug injection for [`replay_mutated`]. The stateless schemes
+/// take the `MutantPolicy` wrapper around the policy they already built;
+/// the directory-backed competitors cannot (twisted bank ids would trip
+/// their on-evict directory assertions), so they substitute the
+/// internally-consistent bugged twins shipped with `renuca_core`:
+///
+/// * WEC redirects hot fills one bank past the coldest;
+/// * Coloring rotates its remap one write too early (epoch 63, not 64);
+/// * MAC inverts its replacement policy (evict dirty-first, not clean-first).
+fn inject_bug(
+    scheme: Scheme,
+    cfg: &SystemConfig,
+    policy: Box<dyn LlcPlacement>,
+) -> Box<dyn LlcPlacement> {
+    let max_lines = cfg.n_banks * cfg.l3_bank.lines();
+    match scheme {
+        Scheme::Wec => Box::new(Wec::bugged(cfg.n_banks, max_lines)),
+        Scheme::Coloring => Box::new(Coloring::with_epoch(
+            cfg.n_banks,
+            max_lines,
+            COLORING_EPOCH - 1,
+        )),
+        Scheme::Mac => Box::new(Mac::bugged(cfg.n_banks)),
+        _ => Box::new(MutantPolicy {
+            inner: policy,
+            n_banks: cfg.n_banks,
+        }),
+    }
 }
 
 /// The owning core of a line, exactly as `renuca_core::mapping` computes
@@ -252,10 +296,7 @@ fn run_diff(
 
     let mut policy = scheme.build_policy(cfg);
     if mutate {
-        policy = Box::new(MutantPolicy {
-            inner: policy,
-            n_banks: cfg.n_banks,
-        });
+        policy = inject_bug(scheme, cfg, policy);
     }
     let mut h = MemoryHierarchy::new(cfg, policy);
     // Capture placement events per access; one op emits at most one fill
@@ -520,6 +561,38 @@ fn final_state_compare(
                 )));
             }
         }
+        if let Some(real) = any.downcast_ref::<Wec>() {
+            if real.write_counters() != g.policy.wec_writes.as_slice() {
+                return Err(fail(format!(
+                    "WEC write counters diverged: real {:?}, golden {:?}",
+                    real.write_counters(),
+                    g.policy.wec_writes
+                )));
+            }
+            if real.directory_len() != g.policy.wec_directory.len() {
+                return Err(fail(format!(
+                    "WEC redirect-directory size diverged: real {}, golden {}",
+                    real.directory_len(),
+                    g.policy.wec_directory.len()
+                )));
+            }
+        }
+        if let Some(real) = any.downcast_ref::<Coloring>() {
+            if real.total_writes() != g.policy.coloring_writes {
+                return Err(fail(format!(
+                    "Coloring write total diverged: real {}, golden {}",
+                    real.total_writes(),
+                    g.policy.coloring_writes
+                )));
+            }
+            if real.directory_len() != g.policy.coloring_directory.len() {
+                return Err(fail(format!(
+                    "Coloring directory size diverged: real {}, golden {}",
+                    real.directory_len(),
+                    g.policy.coloring_directory.len()
+                )));
+            }
+        }
         if let Some(real) = any.downcast_ref::<ReNuca>() {
             let rs = &real.renuca_stats;
             let gs = &g.policy.renuca_stats;
@@ -761,6 +834,8 @@ pub fn run_corpus(
 /// Outcome of a successful [`mutation_check`].
 #[derive(Debug)]
 pub struct MutationReport {
+    /// Scheme the bug was injected under.
+    pub scheme: Scheme,
     /// Ops in the original failing trace.
     pub original_len: usize,
     /// Ops left after ddmin.
@@ -771,45 +846,59 @@ pub struct MutationReport {
     pub trace_path: PathBuf,
 }
 
-/// Prove the harness catches bugs: inject the `MutantPolicy` placement
-/// bug under S-NUCA, demand a divergence, shrink it to a 1-minimal trace
-/// and serialize it. Errors describe which leg of the proof failed.
-pub fn mutation_check(seed: u64, ops_n: usize, out_dir: &Path) -> Result<MutationReport, String> {
+/// The schemes whose injected bugs the self-check exercises: one
+/// stateless scheme for the `MutantPolicy` wrapper, plus every competitor
+/// with a bugged twin (see `inject_bug`).
+pub const MUTATION_SCHEMES: [Scheme; 4] =
+    [Scheme::SNuca, Scheme::Wec, Scheme::Coloring, Scheme::Mac];
+
+/// Prove the harness catches bugs: inject the per-scheme bug of
+/// `inject_bug` under `scheme`, demand a divergence, shrink it to a
+/// 1-minimal trace and serialize it. Errors describe which leg of the
+/// proof failed.
+pub fn mutation_check(
+    scheme: Scheme,
+    seed: u64,
+    ops_n: usize,
+    out_dir: &Path,
+) -> Result<MutationReport, String> {
     let cfg = tiny_cfg(2, 2);
     let spec = TraceSpec::new(seed, 2, 2, ops_n);
     let ops = generate(&spec);
 
-    replay(Scheme::SNuca, &cfg, &ops)
+    replay(scheme, &cfg, &ops)
         .map_err(|m| format!("harness diverges even without the mutant: {m}"))?;
 
-    let mismatch = match replay_mutated(Scheme::SNuca, &cfg, &ops) {
+    let mismatch = match replay_mutated(scheme, &cfg, &ops) {
         Ok(_) => {
             return Err(format!(
-                "injected placement bug escaped the harness (seed {seed}, {ops_n} ops)"
+                "injected {} bug escaped the harness (seed {seed}, {ops_n} ops)",
+                scheme.name()
             ))
         }
         Err(m) => m,
     };
 
-    let minimal = shrink(Scheme::SNuca, &cfg, &ops, true);
-    if !minimal.is_empty() && replay_mutated(Scheme::SNuca, &cfg, &minimal).is_ok() {
+    let minimal = shrink(scheme, &cfg, &ops, true);
+    if !minimal.is_empty() && replay_mutated(scheme, &cfg, &minimal).is_ok() {
         return Err("shrunk trace no longer reproduces the divergence".to_owned());
     }
     // 1-minimality: removing any single op must make the divergence vanish.
     for i in 0..minimal.len() {
         let mut without: Vec<TraceOp> = minimal.clone();
         without.remove(i);
-        if !without.is_empty() && replay_mutated(Scheme::SNuca, &cfg, &without).is_err() {
+        if !without.is_empty() && replay_mutated(scheme, &cfg, &without).is_err() {
             return Err(format!(
                 "shrunk trace is not 1-minimal: dropping op {i} still diverges"
             ));
         }
     }
 
-    let trace_path = write_shrunk_trace(out_dir, "mutant", Scheme::SNuca, &cfg, seed, &minimal)
+    let trace_path = write_shrunk_trace(out_dir, "mutant", scheme, &cfg, seed, &minimal)
         .map_err(|e| format!("failed to write shrunk trace: {e}"))?;
 
     Ok(MutationReport {
+        scheme,
         original_len: ops.len(),
         minimal_len: minimal.len(),
         detail: mismatch.to_string(),
@@ -822,8 +911,9 @@ pub fn mutation_check(seed: u64, ops_n: usize, out_dir: &Path) -> Result<Mutatio
 /// Placement cannot change write volume: in an eviction-free regime every
 /// scheme sees the same distinct-line fills and the same writebacks, so
 /// `l3_fills`, `l3_writes`, `l2_writebacks` and the histogram *total* must
-/// agree across all five schemes (the histograms themselves differ — that
-/// is the point of the paper).
+/// agree across all eight schemes (the histograms themselves differ — that
+/// is the point of the paper; MAC rides along because with zero capacity
+/// evictions its write-aware replacement never picks a victim).
 pub fn write_conservation(cols: usize, rows: usize, seed: u64, ops_n: usize) -> Result<(), String> {
     let cfg = roomy_cfg(cols, rows);
     let mut spec = TraceSpec::new(seed, cols, rows, ops_n);
@@ -977,6 +1067,15 @@ mod tests {
         });
         assert_eq!(minimal.len(), 2);
         assert_eq!((minimal[0].pc, minimal[1].pc), (77, 88));
+    }
+
+    #[test]
+    fn golden_constants_mirror_the_real_policies() {
+        // The golden crate cannot depend on renuca-core, so WEC's redirect
+        // threshold and Coloring's epoch length are duplicated there. This
+        // crate depends on both — pin the twins together.
+        assert_eq!(renuca_core::WEC_THRESHOLD, golden::GOLDEN_WEC_THRESHOLD);
+        assert_eq!(renuca_core::COLORING_EPOCH, golden::GOLDEN_COLORING_EPOCH);
     }
 
     #[test]

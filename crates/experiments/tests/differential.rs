@@ -2,7 +2,7 @@
 //! metamorphic invariants, and the mutation self-check (an injected
 //! placement bug must be caught and shrunk to a 1-minimal trace).
 //!
-//! The full acceptance sweep (100 seeds × 5 schemes × 2 configs = 1000
+//! The full acceptance sweep (100 seeds × 8 schemes × 2 configs = 1600
 //! traces) runs through `cargo run --release -p experiments --bin
 //! diffcheck`; these tests keep a smaller always-on corpus in `cargo test`.
 
@@ -42,7 +42,8 @@ fn every_scheme_survives_a_long_trace() {
 #[test]
 fn injected_placement_bug_is_caught_and_shrunk() {
     let out = tmp_out();
-    let report = diff::mutation_check(42, 3000, &out).expect("mutation check must pass");
+    let report =
+        diff::mutation_check(Scheme::SNuca, 42, 3000, &out).expect("mutation check must pass");
     assert!(report.minimal_len >= 1);
     assert!(
         report.minimal_len <= 5,
@@ -73,6 +74,28 @@ fn injected_placement_bug_is_caught_and_shrunk() {
     let cfg = diff::tiny_cfg(cols, rows);
     assert!(diff::replay_mutated(Scheme::SNuca, &cfg, &ops).is_err());
     assert!(diff::replay(Scheme::SNuca, &cfg, &ops).is_ok());
+}
+
+#[test]
+fn injected_bugs_in_competitor_schemes_are_caught() {
+    // Each new scheme ships an internally-consistent bugged twin (skewed
+    // WEC redirect, off-by-one Coloring epoch, inverted MAC replacement);
+    // the harness must catch each one and shrink it to a 1-minimal trace
+    // (mutation_check itself verifies 1-minimality op by op).
+    let out = tmp_out();
+    for scheme in [Scheme::Wec, Scheme::Coloring, Scheme::Mac] {
+        let report = diff::mutation_check(scheme, 42, 2000, &out)
+            .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+        assert!(report.minimal_len >= 1);
+        assert!(report.trace_path.exists());
+        // The reproducer round-trips and diverges only under the bug.
+        let text = std::fs::read_to_string(&report.trace_path).unwrap();
+        let (scheme_name, cols, rows, _seed, ops) = parse_trace(&text).expect("valid trace file");
+        assert_eq!(scheme_name, scheme.name());
+        let cfg = diff::tiny_cfg(cols, rows);
+        assert!(diff::replay_mutated(scheme, &cfg, &ops).is_err());
+        assert!(diff::replay(scheme, &cfg, &ops).is_ok());
+    }
 }
 
 #[test]

@@ -10,7 +10,9 @@
 //!   *without* advancing the clock (so a marked line can tie with the most
 //!   recent access — victim choice then falls to way order);
 //! * the fill victim is the first invalid way, else the way with the
-//!   strictly smallest stamp scanning ways in order;
+//!   strictly smallest stamp scanning ways in order; under write-aware
+//!   replacement (MAC banks) the stamp scan considers clean ways first and
+//!   falls back to the all-ways scan only when every way is dirty;
 //! * L3 banks fold the line address (`line ^ line>>11 ^ line>>22`) before
 //!   set selection, private caches index with the raw line address;
 //! * the physical slot of a (set, way) is `set * assoc + way` (set rotation
@@ -52,6 +54,9 @@ pub struct GoldenCache {
     sets: Vec<Vec<Way>>,
     assoc: usize,
     hash_index: bool,
+    /// MAC banks: prefer clean victims (twin of
+    /// `cmp_sim::cache::ReplacementKind::WriteAware`).
+    write_aware: bool,
     clock: u64,
 }
 
@@ -59,12 +64,24 @@ impl GoldenCache {
     /// A cache with `lines / assoc` sets of `assoc` ways. `hash_index`
     /// selects the L3 XOR-fold set function.
     pub fn new(lines: usize, assoc: usize, hash_index: bool) -> Self {
+        Self::with_write_aware(lines, assoc, hash_index, false)
+    }
+
+    /// A cache with an explicit victim-selection policy: `write_aware`
+    /// makes fills prefer clean victims (MAC's replacement).
+    pub fn with_write_aware(
+        lines: usize,
+        assoc: usize,
+        hash_index: bool,
+        write_aware: bool,
+    ) -> Self {
         assert!(lines > 0 && assoc > 0 && lines % assoc == 0);
         let n_sets = lines / assoc;
         GoldenCache {
             sets: vec![vec![Way::default(); assoc]; n_sets],
             assoc,
             hash_index,
+            write_aware,
             clock: 0,
         }
     }
@@ -132,22 +149,8 @@ impl GoldenCache {
             !self.sets[set].iter().any(|w| w.valid && w.line == line),
             "golden: fill of resident line {line:#x}"
         );
+        let victim = self.pick_victim(set);
         let ways = &mut self.sets[set];
-        let mut victim = 0;
-        let mut victim_stamp = u64::MAX;
-        let mut found_invalid = false;
-        for (i, way) in ways.iter().enumerate() {
-            if !way.valid {
-                victim = i;
-                found_invalid = true;
-                break;
-            }
-            if way.stamp < victim_stamp {
-                victim = i;
-                victim_stamp = way.stamp;
-            }
-        }
-        let _ = found_invalid;
         let displaced = if ways[victim].valid {
             Some(Victim {
                 line: ways[victim].line,
@@ -167,6 +170,37 @@ impl GoldenCache {
             way: victim,
             victim: displaced,
         }
+    }
+
+    /// Victim way for a fill into `set`: first invalid way; else, under
+    /// write-aware replacement, the smallest-stamp *clean* way if any; else
+    /// the smallest-stamp way overall. All scans go in way order with a
+    /// strict `<` comparison.
+    fn pick_victim(&self, set: usize) -> usize {
+        let ways = &self.sets[set];
+        if let Some(i) = ways.iter().position(|w| !w.valid) {
+            return i;
+        }
+        let smallest = |want_clean: bool| -> Option<usize> {
+            let mut victim = None;
+            let mut victim_stamp = u64::MAX;
+            for (i, way) in ways.iter().enumerate() {
+                if want_clean && way.dirty {
+                    continue;
+                }
+                if way.stamp < victim_stamp {
+                    victim = Some(i);
+                    victim_stamp = way.stamp;
+                }
+            }
+            victim
+        };
+        if self.write_aware {
+            if let Some(i) = smallest(true) {
+                return i;
+            }
+        }
+        smallest(false).expect("full set has a victim")
     }
 
     /// Drop `line` if resident; returns whether it was dirty. No clock
@@ -231,6 +265,20 @@ mod tests {
         // Strict `<` comparison keeps the first way as victim.
         assert_eq!(out.victim.unwrap().line, 0);
         assert!(out.victim.unwrap().dirty);
+    }
+
+    #[test]
+    fn write_aware_prefers_clean_victims() {
+        let mut c = GoldenCache::with_write_aware(4, 2, false, true);
+        c.fill(0, true); // dirty, LRU
+        c.fill(2, false); // clean, newer
+        let out = c.fill(4, false);
+        assert_eq!(out.victim.unwrap().line, 2, "clean line evicted first");
+        assert!(c.contains(0));
+        // All dirty: plain LRU fallback.
+        c.access(4, true);
+        let out = c.fill(6, false);
+        assert_eq!(out.victim.unwrap().line, 0);
     }
 
     #[test]

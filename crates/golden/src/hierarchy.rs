@@ -148,8 +148,17 @@ impl GoldenSystem {
             l2: (0..cfg.n_cores)
                 .map(|_| GoldenCache::new(cfg.l2.lines(), cfg.l2.assoc, false))
                 .collect(),
+            // MAC banks run clean-first victim selection, matching
+            // `LlcPlacement::l3_replacement` on the real side.
             l3: (0..cfg.n_banks)
-                .map(|_| GoldenCache::new(cfg.l3_bank.lines(), cfg.l3_bank.assoc, true))
+                .map(|_| {
+                    GoldenCache::with_write_aware(
+                        cfg.l3_bank.lines(),
+                        cfg.l3_bank.assoc,
+                        true,
+                        policy.scheme().write_aware_replacement(),
+                    )
+                })
                 .collect(),
             dir: BTreeMap::new(),
             wear: vec![vec![0; cfg.l3_bank.lines()]; cfg.n_banks],

@@ -38,5 +38,5 @@ pub mod trace;
 pub use cache::GoldenCache;
 pub use cpt::GoldenCpt;
 pub use hierarchy::{GoldenEvent, GoldenEventKind, GoldenSystem};
-pub use policy::{GoldenPolicy, GoldenScheme};
+pub use policy::{GoldenPolicy, GoldenScheme, GOLDEN_COLORING_EPOCH, GOLDEN_WEC_THRESHOLD};
 pub use trace::{generate, parse_trace, trace_to_text, TraceOp, TraceSpec};

@@ -1,17 +1,29 @@
-//! Naive re-implementations of the five evaluated placement policies.
+//! Naive re-implementations of the evaluated placement policies.
 //!
 //! Mirrors the observable behaviour of `renuca_core::mapping` with plain
 //! state: the Naive oracle's directory is a `BTreeMap`, Re-NUCA's Mapping
 //! Bit Vectors are a total `BTreeMap<(core, page), u64>` (the enhanced TLB
 //! plus its backing store behave as a total map — entries evicted from the
 //! TLB persist in the page table, and absent pages read as 0), and the
-//! R-NUCA cluster is recomputed from the mesh geometry on every call.
+//! R-NUCA cluster is recomputed from the mesh geometry on every call. The
+//! wear-management competitors follow the same discipline: WEC's and
+//! Coloring's residency directories are `BTreeMap`s, WEC's coldest-bank
+//! choice is a full scan per fill (no cached argmin), and Coloring's
+//! rotation is re-derived from the write total on every call.
 
 use std::collections::BTreeMap;
 
 use cmp_sim::types::{line_index_in_page, owner_of_line, page_of_line};
 
-/// The five placement schemes, named as in `renuca_core::Scheme`.
+/// WEC's hot-bank redirection threshold. Golden re-derives every behaviour
+/// from documented semantics, constants included — this must stay equal to
+/// `renuca_core::WEC_THRESHOLD` (the differential harness cross-checks).
+pub const GOLDEN_WEC_THRESHOLD: u64 = 8;
+
+/// Coloring's writes-per-epoch; twin of `renuca_core::COLORING_EPOCH`.
+pub const GOLDEN_COLORING_EPOCH: u64 = 64;
+
+/// The placement schemes, named as in `renuca_core::Scheme`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GoldenScheme {
     /// Static NUCA: bank = low line bits.
@@ -24,16 +36,25 @@ pub enum GoldenScheme {
     Naive,
     /// The paper's hybrid: criticality-gated R-NUCA/S-NUCA with MBVs.
     ReNuca,
+    /// WEC: hot S-NUCA homes redirect fills to the coldest bank.
+    Wec,
+    /// Coloring: the bank map rotates one bank per write epoch.
+    Coloring,
+    /// MAC: S-NUCA placement over write-aware bank replacement.
+    Mac,
 }
 
 impl GoldenScheme {
-    /// All five schemes, in `renuca_core::Scheme::ALL` order.
-    pub const ALL: [GoldenScheme; 5] = [
+    /// All eight schemes, in `renuca_core::Scheme::ALL` order.
+    pub const ALL: [GoldenScheme; 8] = [
         GoldenScheme::Naive,
         GoldenScheme::SNuca,
         GoldenScheme::ReNuca,
         GoldenScheme::RNuca,
         GoldenScheme::Private,
+        GoldenScheme::Wec,
+        GoldenScheme::Coloring,
+        GoldenScheme::Mac,
     ];
 
     /// Display name matching `renuca_core::Scheme::name`.
@@ -44,12 +65,22 @@ impl GoldenScheme {
             GoldenScheme::Private => "Private",
             GoldenScheme::Naive => "Naive",
             GoldenScheme::ReNuca => "Re-NUCA",
+            GoldenScheme::Wec => "WEC",
+            GoldenScheme::Coloring => "Coloring",
+            GoldenScheme::Mac => "MAC",
         }
     }
 
     /// Parse a display name back into a scheme.
     pub fn from_name(name: &str) -> Option<Self> {
         Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Whether this scheme's L3 banks run write-aware (clean-first) victim
+    /// selection instead of true LRU — the golden hierarchy builds its bank
+    /// arrays accordingly.
+    pub fn write_aware_replacement(self) -> bool {
+        self == GoldenScheme::Mac
     }
 }
 
@@ -93,6 +124,14 @@ pub struct GoldenPolicy {
     pub mbv: BTreeMap<(usize, u64), u64>,
     /// Re-NUCA placement counters.
     pub renuca_stats: GoldenReNucaStats,
+    /// WEC: per-bank write counters.
+    pub wec_writes: Vec<u64>,
+    /// WEC: line → bank directory of *redirected* lines only.
+    pub wec_directory: BTreeMap<u64, usize>,
+    /// Coloring: total L3 writes (the epoch clock).
+    pub coloring_writes: u64,
+    /// Coloring: line → bank directory of every resident line.
+    pub coloring_directory: BTreeMap<u64, usize>,
 }
 
 impl GoldenPolicy {
@@ -110,6 +149,10 @@ impl GoldenPolicy {
             naive_directory: BTreeMap::new(),
             mbv: BTreeMap::new(),
             renuca_stats: GoldenReNucaStats::default(),
+            wec_writes: vec![0; n_banks],
+            wec_directory: BTreeMap::new(),
+            coloring_writes: 0,
+            coloring_directory: BTreeMap::new(),
         }
     }
 
@@ -173,10 +216,31 @@ impl GoldenPolicy {
         self.mbv.get(&(core, page)).copied().unwrap_or(0)
     }
 
+    /// First lowest-write bank, scanning in order (naive full scan; the
+    /// real WEC/Naive policies cache this argmin).
+    fn coldest_bank(writes: &[u64]) -> usize {
+        let mut best = 0;
+        let mut best_w = writes[0];
+        for (b, &w) in writes.iter().enumerate().skip(1) {
+            if w < best_w {
+                best = b;
+                best_w = w;
+            }
+        }
+        best
+    }
+
+    /// Coloring's current bank map: the S-NUCA home shifted by one bank per
+    /// completed write epoch, re-derived from the write total on each call.
+    pub fn coloring_bank(&self, line: u64) -> usize {
+        let shift = (self.coloring_writes / GOLDEN_COLORING_EPOCH) % self.n_banks as u64;
+        (self.snuca_bank(line) + shift as usize) % self.n_banks
+    }
+
     /// The bank to search for `line` (mirrors `LlcPlacement::lookup_bank`).
     pub fn lookup_bank(&mut self, line: u64) -> usize {
         match self.scheme {
-            GoldenScheme::SNuca => self.snuca_bank(line),
+            GoldenScheme::SNuca | GoldenScheme::Mac => self.snuca_bank(line),
             GoldenScheme::RNuca => self.rnuca_bank(owner(line, self.n_banks), line),
             GoldenScheme::Private => owner(line, self.n_banks),
             GoldenScheme::Naive => self
@@ -184,6 +248,16 @@ impl GoldenPolicy {
                 .get(&line)
                 .copied()
                 .unwrap_or_else(|| self.snuca_bank(line)),
+            GoldenScheme::Wec => self
+                .wec_directory
+                .get(&line)
+                .copied()
+                .unwrap_or_else(|| self.snuca_bank(line)),
+            GoldenScheme::Coloring => self
+                .coloring_directory
+                .get(&line)
+                .copied()
+                .unwrap_or_else(|| self.coloring_bank(line)),
             GoldenScheme::ReNuca => {
                 let core = owner(line, self.n_banks);
                 let page = page_of_line(line);
@@ -202,7 +276,17 @@ impl GoldenPolicy {
     /// The bank a new fill of `line` goes to (mirrors `fill_bank`).
     pub fn fill_bank(&mut self, line: u64, predicted_critical: bool) -> usize {
         match self.scheme {
-            GoldenScheme::SNuca => self.snuca_bank(line),
+            GoldenScheme::SNuca | GoldenScheme::Mac => self.snuca_bank(line),
+            GoldenScheme::Wec => {
+                let home = self.snuca_bank(line);
+                let coldest = Self::coldest_bank(&self.wec_writes);
+                if self.wec_writes[home] >= self.wec_writes[coldest] + GOLDEN_WEC_THRESHOLD {
+                    coldest
+                } else {
+                    home
+                }
+            }
+            GoldenScheme::Coloring => self.coloring_bank(line),
             GoldenScheme::RNuca => self.rnuca_bank(owner(line, self.n_banks), line),
             GoldenScheme::Private => owner(line, self.n_banks),
             GoldenScheme::Naive => {
@@ -234,6 +318,14 @@ impl GoldenPolicy {
             GoldenScheme::Naive => {
                 self.naive_directory.insert(line, bank);
             }
+            GoldenScheme::Wec => {
+                if bank != self.snuca_bank(line) {
+                    self.wec_directory.insert(line, bank);
+                }
+            }
+            GoldenScheme::Coloring => {
+                self.coloring_directory.insert(line, bank);
+            }
             GoldenScheme::ReNuca => {
                 let core = owner(line, self.n_banks);
                 let page = page_of_line(line);
@@ -251,8 +343,11 @@ impl GoldenPolicy {
 
     /// A write (fill or writeback) landed in `bank` (mirrors `on_l3_write`).
     pub fn on_l3_write(&mut self, bank: usize) {
-        if self.scheme == GoldenScheme::Naive {
-            self.naive_writes[bank] += 1;
+        match self.scheme {
+            GoldenScheme::Naive => self.naive_writes[bank] += 1,
+            GoldenScheme::Wec => self.wec_writes[bank] += 1,
+            GoldenScheme::Coloring => self.coloring_writes += 1,
+            _ => {}
         }
     }
 
@@ -262,6 +357,20 @@ impl GoldenPolicy {
             GoldenScheme::Naive => {
                 let removed = self.naive_directory.remove(&line);
                 debug_assert_eq!(removed, Some(bank), "golden directory out of sync");
+            }
+            GoldenScheme::Wec => match self.wec_directory.remove(&line) {
+                Some(recorded) => {
+                    debug_assert_eq!(recorded, bank, "golden WEC directory out of sync")
+                }
+                None => debug_assert_eq!(
+                    bank,
+                    self.snuca_bank(line),
+                    "golden WEC: untracked eviction away from the home"
+                ),
+            },
+            GoldenScheme::Coloring => {
+                let removed = self.coloring_directory.remove(&line);
+                debug_assert_eq!(removed, Some(bank), "golden Coloring directory out of sync");
             }
             GoldenScheme::ReNuca => {
                 let core = owner(line, self.n_banks);
@@ -308,6 +417,50 @@ mod tests {
         p.on_evict(line, fill);
         assert_eq!(p.lookup_bank(line), p.snuca_bank(line));
         assert!(p.mbv.is_empty(), "zero MBV words must be pruned");
+    }
+
+    #[test]
+    fn wec_redirects_hot_homes_and_tracks_redirects() {
+        let mut p = GoldenPolicy::new(GoldenScheme::Wec, 2, 2);
+        assert_eq!(p.fill_bank(5, false), 1, "cold: stay at the S-NUCA home");
+        for _ in 0..GOLDEN_WEC_THRESHOLD {
+            p.on_l3_write(1);
+        }
+        let b = p.fill_bank(5, false);
+        assert_eq!(b, 0, "hot home: redirect to the coldest bank");
+        p.on_fill(5, false, b);
+        assert_eq!(p.wec_directory.len(), 1);
+        assert_eq!(p.lookup_bank(5), 0);
+        p.on_evict(5, b);
+        assert!(p.wec_directory.is_empty());
+        assert_eq!(p.lookup_bank(5), 1);
+    }
+
+    #[test]
+    fn coloring_rotates_and_pins_residents() {
+        let mut p = GoldenPolicy::new(GoldenScheme::Coloring, 2, 2);
+        let b = p.fill_bank(6, false);
+        assert_eq!(b, 2);
+        p.on_fill(6, false, b);
+        for _ in 0..GOLDEN_COLORING_EPOCH {
+            p.on_l3_write(0);
+        }
+        assert_eq!(p.fill_bank(6, false), 3, "map rotated one bank");
+        assert_eq!(p.lookup_bank(6), 2, "resident line stays findable");
+        p.on_evict(6, 2);
+        assert_eq!(p.lookup_bank(6), 3);
+    }
+
+    #[test]
+    fn mac_places_exactly_like_snuca() {
+        let mut mac = GoldenPolicy::new(GoldenScheme::Mac, 4, 4);
+        let mut snuca = GoldenPolicy::new(GoldenScheme::SNuca, 4, 4);
+        for line in [0u64, 17, 12345, 1 << 30] {
+            assert_eq!(mac.lookup_bank(line), snuca.lookup_bank(line));
+            assert_eq!(mac.fill_bank(line, true), snuca.fill_bank(line, true));
+        }
+        assert!(GoldenScheme::Mac.write_aware_replacement());
+        assert!(!GoldenScheme::SNuca.write_aware_replacement());
     }
 
     #[test]

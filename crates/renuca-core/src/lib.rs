@@ -38,6 +38,9 @@ pub mod scheme;
 pub mod tlb;
 
 pub use criticality::{Cpt, CptConfig};
-pub use mapping::{NaiveOracle, PrivateMap, RNuca, ReNuca, ReNucaTwoProbe, SNuca};
+pub use mapping::{
+    Coloring, Mac, NaiveOracle, PrivateMap, RNuca, ReNuca, ReNucaTwoProbe, SNuca, Wec,
+    COLORING_EPOCH, WEC_THRESHOLD,
+};
 pub use scheme::Scheme;
 pub use tlb::EnhancedTlb;

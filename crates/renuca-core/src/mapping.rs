@@ -1,8 +1,11 @@
-//! The five evaluated L3 placement policies.
+//! The evaluated L3 placement policies: the paper's five schemes plus the
+//! three wear-management competitors from the related work (WEC, Coloring,
+//! MAC).
 //!
 //! All policies implement [`cmp_sim::placement::LlcPlacement`]. Bank ids
 //! coincide with mesh tile ids (one bank per core tile, paper Table I).
 
+use cmp_sim::cache::ReplacementKind;
 use cmp_sim::placement::{AccessMeta, LlcPlacement};
 use cmp_sim::table::FixedTable;
 use cmp_sim::types::{line_index_in_page, owner_of_line, BankId, CoreId, Cycle};
@@ -563,6 +566,321 @@ impl LlcPlacement for ReNucaTwoProbe {
     }
 }
 
+// ---------------------------------------------------------------------------
+// WEC (write-endurance-aware redirection, Mittal arXiv:1311.0041)
+// ---------------------------------------------------------------------------
+
+/// Hot-bank redirection threshold of [`Wec`] in writes. A fill whose S-NUCA
+/// home bank carries at least this many more writes than the least-written
+/// bank is redirected there. Small enough to trigger on the differential
+/// harness's tiny traces; `crates/golden` duplicates it (golden re-derives
+/// everything from documented semantics, including constants) and the
+/// harness cross-checks the two.
+pub const WEC_THRESHOLD: u64 = 8;
+
+/// **WEC**: Mittal's set-level write-endurance-aware cache management
+/// (arXiv:1311.0041), adapted to NUCA bank granularity. The original design
+/// tracks per-set write counters inside one cache and redirects writes away
+/// from hot sets; across a banked LLC the same idea reads as *per-bank*
+/// counters with fills redirected from a hot S-NUCA home to the coldest
+/// bank. Unlike the Naive oracle, redirection is exceptional — most fills
+/// keep their S-NUCA home, so only the redirected minority needs directory
+/// state to be found again (bounded [`FixedTable`], entries removed on
+/// eviction).
+#[derive(Clone, Debug)]
+pub struct Wec {
+    writes: Vec<u64>,
+    /// Cached lowest-index argmin of `writes` (same incremental-maintenance
+    /// discipline as [`NaiveOracle`]).
+    min_bank: BankId,
+    threshold: u64,
+    /// Residency directory for *redirected* lines only: a line absent here
+    /// is at its S-NUCA home.
+    directory: FixedTable<BankId>,
+    snuca: SNuca,
+    /// Injected-bug switch for the mutation self-check: redirected fills go
+    /// one bank past the coldest one. Internally consistent (the directory
+    /// still records the bank actually used) but observably wrong vs the
+    /// golden mirror. Never set by [`crate::Scheme::build_policy`].
+    bug_skewed_redirect: bool,
+}
+
+impl Wec {
+    /// WEC over `n_banks` banks, sized for the paper's 2 MB banks. Use
+    /// [`Wec::with_line_capacity`] when the bank geometry differs.
+    pub fn new(n_banks: usize) -> Self {
+        Self::with_line_capacity(n_banks, n_banks * 32_768)
+    }
+
+    /// WEC whose redirection directory is bounded to `max_lines` tracked
+    /// lines (the LLC capacity — entries leave on eviction, with one
+    /// in-flight fill per bank of slack).
+    pub fn with_line_capacity(n_banks: usize, max_lines: usize) -> Self {
+        let bound = max_lines + n_banks;
+        Wec {
+            writes: vec![0; n_banks],
+            min_bank: 0,
+            threshold: WEC_THRESHOLD,
+            directory: FixedTable::with_capacity(bound.min(4096), bound),
+            snuca: SNuca::new(n_banks),
+            bug_skewed_redirect: false,
+        }
+    }
+
+    /// The deliberately buggy twin (see `bug_skewed_redirect`); built only
+    /// by the differential harness's mutation self-check.
+    pub fn bugged(n_banks: usize, max_lines: usize) -> Self {
+        Wec {
+            bug_skewed_redirect: true,
+            ..Self::with_line_capacity(n_banks, max_lines)
+        }
+    }
+
+    /// Per-bank write counters (inspection for the differential harness).
+    pub fn write_counters(&self) -> &[u64] {
+        &self.writes
+    }
+
+    /// Number of redirected lines currently tracked.
+    pub fn directory_len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Full lowest-index argmin scan over the counters.
+    fn scan_argmin(writes: &[u64]) -> BankId {
+        let mut best = 0;
+        let mut best_w = writes[0];
+        for (b, &w) in writes.iter().enumerate().skip(1) {
+            if w < best_w {
+                best = b;
+                best_w = w;
+            }
+        }
+        best
+    }
+}
+
+impl LlcPlacement for Wec {
+    fn name(&self) -> &'static str {
+        "WEC"
+    }
+    fn lookup_bank(&mut self, meta: &AccessMeta) -> BankId {
+        self.directory
+            .get(meta.line)
+            .copied()
+            .unwrap_or_else(|| self.snuca.bank_of(meta.line))
+    }
+    fn fill_bank(&mut self, meta: &AccessMeta) -> BankId {
+        debug_assert_eq!(
+            self.min_bank,
+            Self::scan_argmin(&self.writes),
+            "cached argmin out of sync with write counters"
+        );
+        let home = self.snuca.bank_of(meta.line);
+        if self.writes[home] >= self.writes[self.min_bank] + self.threshold {
+            if self.bug_skewed_redirect {
+                (self.min_bank + 1) % self.writes.len()
+            } else {
+                self.min_bank
+            }
+        } else {
+            home
+        }
+    }
+    fn on_fill(&mut self, meta: &AccessMeta, bank: BankId) {
+        // Only redirected lines need residency state; home-resident lines
+        // are found by the S-NUCA map alone.
+        if bank != self.snuca.bank_of(meta.line) {
+            self.directory.insert(meta.line, bank);
+        }
+    }
+    fn on_l3_write(&mut self, bank: BankId) {
+        self.writes[bank] += 1;
+        if bank == self.min_bank {
+            self.min_bank = Self::scan_argmin(&self.writes);
+        }
+    }
+    fn on_evict(&mut self, line: u64, bank: BankId) {
+        match self.directory.remove(line) {
+            Some(recorded) => debug_assert_eq!(recorded, bank, "directory out of sync"),
+            None => debug_assert_eq!(
+                bank,
+                self.snuca.bank_of(line),
+                "untracked eviction away from the S-NUCA home"
+            ),
+        }
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coloring (inter-set write-variation flattening, Mittal arXiv:1310.8494)
+// ---------------------------------------------------------------------------
+
+/// Writes per remap epoch of [`Coloring`]. Every `COLORING_EPOCH` L3 writes
+/// the bank-map rotation advances by one, migrating each address's home one
+/// bank over. Small enough that differential traces cross several epochs;
+/// duplicated in `crates/golden` (see [`WEC_THRESHOLD`]).
+pub const COLORING_EPOCH: u64 = 64;
+
+/// **Coloring**: Mittal's cache-coloring remap against inter-set write
+/// variation (arXiv:1310.8494), lifted to bank granularity: the mapping
+/// from S-NUCA home to physical bank is shifted by a rotation that advances
+/// every [`COLORING_EPOCH`] writes, so sustained write pressure on one
+/// address region sweeps across all banks over time instead of grinding one
+/// bank down. Because the map moves while lines are resident, *every* fill
+/// records its bank in a residency directory ([`FixedTable`], removed on
+/// eviction) — lookups hit the directory first and only directory misses
+/// (non-resident lines) use the current map.
+#[derive(Clone, Debug)]
+pub struct Coloring {
+    n_banks: u64,
+    snuca: SNuca,
+    epoch_writes: u64,
+    total_writes: u64,
+    directory: FixedTable<BankId>,
+}
+
+impl Coloring {
+    /// Coloring over `n_banks` banks, sized for the paper's 2 MB banks. Use
+    /// [`Coloring::with_line_capacity`] when the bank geometry differs.
+    pub fn new(n_banks: usize) -> Self {
+        Self::with_line_capacity(n_banks, n_banks * 32_768)
+    }
+
+    /// Coloring with a directory bounded to `max_lines` tracked lines.
+    pub fn with_line_capacity(n_banks: usize, max_lines: usize) -> Self {
+        Self::with_epoch(n_banks, max_lines, COLORING_EPOCH)
+    }
+
+    /// Coloring with an explicit epoch length. The differential harness's
+    /// mutation self-check builds the off-by-one twin
+    /// (`COLORING_EPOCH - 1`) through this — an injected bug of exactly the
+    /// class a real regression would introduce.
+    pub fn with_epoch(n_banks: usize, max_lines: usize, epoch_writes: u64) -> Self {
+        assert!(epoch_writes > 0, "epoch must be positive");
+        let bound = max_lines + n_banks;
+        Coloring {
+            n_banks: n_banks as u64,
+            snuca: SNuca::new(n_banks),
+            epoch_writes,
+            total_writes: 0,
+            directory: FixedTable::with_capacity(bound.min(4096), bound),
+        }
+    }
+
+    /// The current rotation of the bank map.
+    pub fn shift(&self) -> u64 {
+        (self.total_writes / self.epoch_writes) % self.n_banks
+    }
+
+    /// Total L3 writes observed (drives the epoch clock).
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// Number of resident lines currently tracked.
+    pub fn directory_len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// The bank a *new* fill of `line` maps to under the current rotation.
+    #[inline]
+    fn current_bank(&self, line: u64) -> BankId {
+        ((self.snuca.bank_of(line) as u64 + self.shift()) % self.n_banks) as BankId
+    }
+}
+
+impl LlcPlacement for Coloring {
+    fn name(&self) -> &'static str {
+        "Coloring"
+    }
+    fn lookup_bank(&mut self, meta: &AccessMeta) -> BankId {
+        self.directory
+            .get(meta.line)
+            .copied()
+            .unwrap_or_else(|| self.current_bank(meta.line))
+    }
+    fn fill_bank(&mut self, meta: &AccessMeta) -> BankId {
+        self.current_bank(meta.line)
+    }
+    fn on_fill(&mut self, meta: &AccessMeta, bank: BankId) {
+        self.directory.insert(meta.line, bank);
+    }
+    fn on_l3_write(&mut self, _bank: BankId) {
+        self.total_writes += 1;
+    }
+    fn on_evict(&mut self, line: u64, bank: BankId) {
+        let removed = self.directory.remove(line);
+        debug_assert_eq!(removed, Some(bank), "directory out of sync");
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MAC (write-aware replacement, Ruan et al. arXiv:1606.03248)
+// ---------------------------------------------------------------------------
+
+/// **MAC**: Ruan et al.'s multilevel PCM-aware replacement
+/// (arXiv:1606.03248) as a *replacement-policy* scheme composable with
+/// S-NUCA placement. Placement is plain address interleaving — identical to
+/// [`SNuca`] — but the L3 banks it drives run
+/// [`ReplacementKind::WriteAware`] victim selection: clean lines are
+/// evicted before dirty ones, so each dirty victim's inevitable ReRAM
+/// writeback is deferred as long as possible and total cell writes drop.
+/// The scheme itself is stateless; all the behaviour lives in the bank
+/// arrays via [`LlcPlacement::l3_replacement`].
+#[derive(Clone, Copy, Debug)]
+pub struct Mac {
+    snuca: SNuca,
+    /// Injected-bug switch for the mutation self-check: report the inverse
+    /// [`ReplacementKind::DirtyFirst`] policy to the hierarchy. Never set by
+    /// [`crate::Scheme::build_policy`].
+    bug_inverted_replacement: bool,
+}
+
+impl Mac {
+    /// MAC over `n_banks` banks.
+    pub fn new(n_banks: usize) -> Self {
+        Mac {
+            snuca: SNuca::new(n_banks),
+            bug_inverted_replacement: false,
+        }
+    }
+
+    /// The deliberately buggy twin (see `bug_inverted_replacement`); built
+    /// only by the differential harness's mutation self-check.
+    pub fn bugged(n_banks: usize) -> Self {
+        Mac {
+            snuca: SNuca::new(n_banks),
+            bug_inverted_replacement: true,
+        }
+    }
+}
+
+impl LlcPlacement for Mac {
+    fn name(&self) -> &'static str {
+        "MAC"
+    }
+    fn lookup_bank(&mut self, meta: &AccessMeta) -> BankId {
+        self.snuca.bank_of(meta.line)
+    }
+    fn fill_bank(&mut self, meta: &AccessMeta) -> BankId {
+        self.snuca.bank_of(meta.line)
+    }
+    fn l3_replacement(&self) -> ReplacementKind {
+        if self.bug_inverted_replacement {
+            ReplacementKind::DirtyFirst
+        } else {
+            ReplacementKind::WriteAware
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -949,6 +1267,157 @@ mod tests {
             r.lookup_bank(&meta(l0, false)),
             bank,
             "MBV bit must survive TLB eviction"
+        );
+    }
+
+    // --- WEC ---
+
+    #[test]
+    fn wec_stays_home_until_threshold_then_redirects() {
+        let mut w = Wec::with_line_capacity(4, 1024);
+        let line = 5u64; // S-NUCA home = bank 1
+        assert_eq!(w.fill_bank(&meta(line, false)), 1, "cold banks: stay home");
+        // Heat bank 1 past the threshold relative to bank 0 (the argmin).
+        for _ in 0..WEC_THRESHOLD {
+            w.on_l3_write(1);
+        }
+        assert_eq!(w.fill_bank(&meta(line, false)), 0, "hot home: redirect");
+        // Lines whose home is already the coldest bank never redirect.
+        assert_eq!(w.fill_bank(&meta(4, false)), 0);
+    }
+
+    #[test]
+    fn wec_directory_tracks_only_redirected_lines() {
+        let mut w = Wec::with_line_capacity(4, 1024);
+        let home = meta(4, false); // home = bank 0 = argmin
+        let b = w.fill_bank(&home);
+        w.on_fill(&home, b);
+        assert_eq!(w.directory_len(), 0, "home fills need no directory entry");
+
+        for _ in 0..WEC_THRESHOLD {
+            w.on_l3_write(1);
+        }
+        let hot = meta(5, false); // home = bank 1, now hot
+        let b = w.fill_bank(&hot);
+        assert_eq!(b, 0);
+        w.on_fill(&hot, b);
+        assert_eq!(w.directory_len(), 1);
+        assert_eq!(
+            w.lookup_bank(&hot),
+            0,
+            "redirected line found via directory"
+        );
+        w.on_evict(hot.line, b);
+        assert_eq!(w.directory_len(), 0);
+        assert_eq!(w.lookup_bank(&hot), 1, "post-evict lookup probes the home");
+    }
+
+    #[test]
+    fn wec_bugged_twin_skews_redirects_but_stays_consistent() {
+        let mut w = Wec::bugged(4, 1024);
+        for _ in 0..WEC_THRESHOLD {
+            w.on_l3_write(1);
+        }
+        let hot = meta(5, false);
+        let b = w.fill_bank(&hot);
+        assert_eq!(b, 1, "bug: one past the argmin (bank 0 -> bank 1)");
+        // The twisted bank equals the home here, so no directory entry is
+        // needed — internal consistency holds even under the bug.
+        w.on_fill(&hot, b);
+        assert_eq!(w.lookup_bank(&hot), b);
+    }
+
+    #[test]
+    fn wec_argmin_matches_full_scan_under_random_writes() {
+        // Same seeded differential discipline as the Naive oracle, on a
+        // non-pow2 bank count: the cached argmin must track a from-scratch
+        // lowest-index scan through an arbitrary write storm.
+        let mut w = Wec::with_line_capacity(5, 1024);
+        let mut x: u64 = 0x0DDB_A11_5EED;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            w.on_l3_write(((x >> 33) % 5) as usize);
+            let counters = w.write_counters();
+            let expect = (0..5).min_by_key(|&b| (counters[b], b)).unwrap();
+            assert_eq!(w.min_bank, expect);
+        }
+    }
+
+    // --- Coloring ---
+
+    #[test]
+    fn coloring_rotates_map_every_epoch() {
+        let mut c = Coloring::with_line_capacity(4, 1024);
+        let line = 6u64; // S-NUCA home = bank 2
+        assert_eq!(c.fill_bank(&meta(line, false)), 2);
+        for _ in 0..COLORING_EPOCH {
+            c.on_l3_write(0);
+        }
+        assert_eq!(c.shift(), 1);
+        assert_eq!(c.fill_bank(&meta(line, false)), 3, "map shifted one bank");
+        // A full lap of epochs wraps back to the home bank.
+        for _ in 0..3 * COLORING_EPOCH {
+            c.on_l3_write(0);
+        }
+        assert_eq!(c.shift(), 0);
+        assert_eq!(c.fill_bank(&meta(line, false)), 2);
+    }
+
+    #[test]
+    fn coloring_directory_pins_resident_lines_across_epochs() {
+        let mut c = Coloring::with_line_capacity(4, 1024);
+        let m = meta(6, false);
+        let b = c.fill_bank(&m);
+        c.on_fill(&m, b);
+        for _ in 0..COLORING_EPOCH {
+            c.on_l3_write(0);
+        }
+        // The map moved, but the resident line must still be found where it
+        // was filled.
+        assert_eq!(c.lookup_bank(&m), b);
+        c.on_evict(m.line, b);
+        assert_eq!(c.directory_len(), 0);
+        assert_eq!(
+            c.lookup_bank(&m),
+            c.fill_bank(&m),
+            "non-resident: current map"
+        );
+    }
+
+    #[test]
+    fn coloring_off_by_one_epoch_twin_diverges() {
+        let mut good = Coloring::with_line_capacity(4, 1024);
+        let mut bad = Coloring::with_epoch(4, 1024, COLORING_EPOCH - 1);
+        let m = meta(6, false);
+        for _ in 0..COLORING_EPOCH - 1 {
+            good.on_l3_write(0);
+            bad.on_l3_write(0);
+        }
+        assert_ne!(good.fill_bank(&m), bad.fill_bank(&m));
+    }
+
+    // --- MAC ---
+
+    #[test]
+    fn mac_places_like_snuca_but_swaps_replacement() {
+        let mut m = Mac::new(16);
+        let mut s = SNuca::new(16);
+        for line in [0u64, 17, 12345, 1 << 30] {
+            let acc = meta(line, true);
+            assert_eq!(m.lookup_bank(&acc), s.lookup_bank(&acc));
+            assert_eq!(m.fill_bank(&acc), s.fill_bank(&acc));
+        }
+        assert_eq!(m.l3_replacement(), ReplacementKind::WriteAware);
+        assert_eq!(
+            LlcPlacement::l3_replacement(&s),
+            ReplacementKind::Lru,
+            "placement-only schemes keep the default"
+        );
+        assert_eq!(
+            Mac::bugged(16).l3_replacement(),
+            ReplacementKind::DirtyFirst
         );
     }
 }

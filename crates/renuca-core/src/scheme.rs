@@ -1,4 +1,4 @@
-//! One-stop factory for the five evaluated NUCA schemes.
+//! One-stop factory for the evaluated NUCA schemes.
 //!
 //! The experiment harness builds a `System` per (scheme × workload × config)
 //! cell; this module centralizes the wiring: which placement policy to
@@ -9,9 +9,11 @@ use cmp_sim::config::SystemConfig;
 use cmp_sim::placement::{CriticalityPredictor, LlcPlacement, NeverCritical};
 
 use crate::criticality::{Cpt, CptConfig};
-use crate::mapping::{NaiveOracle, PrivateMap, RNuca, ReNuca, SNuca};
+use crate::mapping::{Coloring, Mac, NaiveOracle, PrivateMap, RNuca, ReNuca, SNuca, Wec};
 
-/// The five NUCA schemes of the paper's evaluation (§V).
+/// The evaluated NUCA schemes: the paper's five (§V) plus the three
+/// wear-management competitors from the related work (the head-to-head
+/// study of ROADMAP item 3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Address-interleaved static NUCA.
@@ -24,11 +26,37 @@ pub enum Scheme {
     Naive,
     /// The paper's contribution: criticality-gated hybrid.
     ReNuca,
+    /// Mittal's write-endurance-aware hot-bank redirection
+    /// (arXiv:1311.0041).
+    Wec,
+    /// Mittal's epoch-rotated coloring remap (arXiv:1310.8494).
+    Coloring,
+    /// Ruan et al.'s write-aware replacement over S-NUCA placement
+    /// (arXiv:1606.03248).
+    Mac,
 }
 
 impl Scheme {
-    /// All schemes, in the paper's usual presentation order.
-    pub const ALL: [Scheme; 5] = [
+    /// All schemes: the paper's five in their usual presentation order,
+    /// then the three related-work competitors.
+    pub const ALL: [Scheme; 8] = [
+        Scheme::Naive,
+        Scheme::SNuca,
+        Scheme::ReNuca,
+        Scheme::RNuca,
+        Scheme::Private,
+        Scheme::Wec,
+        Scheme::Coloring,
+        Scheme::Mac,
+    ];
+
+    /// The related-work wear-management competitors (the head-to-head
+    /// study's challengers).
+    pub const COMPETITORS: [Scheme; 3] = [Scheme::Wec, Scheme::Coloring, Scheme::Mac];
+
+    /// The paper's five schemes in Table III column order — the figure
+    /// renderers with paper reference columns use this, not [`Scheme::ALL`].
+    pub const PAPER: [Scheme; 5] = [
         Scheme::Naive,
         Scheme::SNuca,
         Scheme::ReNuca,
@@ -48,6 +76,9 @@ impl Scheme {
             Scheme::Private => "Private",
             Scheme::Naive => "Naive",
             Scheme::ReNuca => "Re-NUCA",
+            Scheme::Wec => "WEC",
+            Scheme::Coloring => "Coloring",
+            Scheme::Mac => "MAC",
         }
     }
 
@@ -68,6 +99,15 @@ impl Scheme {
                 cfg.tlb_entries,
                 cfg.tlb_assoc,
             )),
+            Scheme::Wec => Box::new(Wec::with_line_capacity(
+                cfg.n_banks,
+                cfg.n_banks * cfg.l3_bank.lines(),
+            )),
+            Scheme::Coloring => Box::new(Coloring::with_line_capacity(
+                cfg.n_banks,
+                cfg.n_banks * cfg.l3_bank.lines(),
+            )),
+            Scheme::Mac => Box::new(Mac::new(cfg.n_banks)),
         }
     }
 

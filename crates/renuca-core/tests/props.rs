@@ -5,7 +5,10 @@ use sim_rng::SimRng;
 
 use cmp_sim::placement::{AccessMeta, CriticalityPredictor, LlcAccessKind, LlcPlacement};
 use cmp_sim::types::{page_of_line, phys_addr};
-use renuca_core::{Cpt, CptConfig, EnhancedTlb, NaiveOracle, PrivateMap, RNuca, ReNuca, SNuca};
+use renuca_core::{
+    Coloring, Cpt, CptConfig, EnhancedTlb, Mac, NaiveOracle, PrivateMap, RNuca, ReNuca, SNuca,
+    Scheme, Wec, COLORING_EPOCH,
+};
 
 const CASES: usize = 64;
 
@@ -195,7 +198,11 @@ fn all_policies_stay_in_range_on_any_core_count() {
             Box::new(PrivateMap::new(n)),
             Box::new(NaiveOracle::new(n, 0)),
             Box::new(ReNuca::new(cols, rows)),
+            Box::new(Wec::new(n)),
+            Box::new(Coloring::new(n)),
+            Box::new(Mac::new(n)),
         ];
+        assert_eq!(policies.len(), Scheme::ALL.len(), "keep this list total");
         for case in 0..CASES {
             // Mix fully random lines with realistic in-machine addresses.
             let line = if case % 2 == 0 {
@@ -238,6 +245,168 @@ fn owner_decoding_is_exact_on_non_pow2_machines() {
         // to a masked alias.
         let beyond = phys_addr(n_cores, 0x40) >> 6;
         assert_eq!(p.lookup_bank(&meta(beyond, false)), 0, "{n_cores} cores");
+    }
+}
+
+/// WEC bookkeeping is exact under any fill/write/evict schedule: resident
+/// lines are looked up at their recorded fill bank, absent lines at the
+/// S-NUCA home, and the redirect directory holds exactly the resident
+/// lines placed away from home.
+#[test]
+fn wec_directory_exactness() {
+    let mut rng = SimRng::seed_from_u64(0x4E0C_0008);
+    for case in 0..CASES {
+        let n_ops = rng.gen_range_usize(1..300);
+        let mut wec = Wec::new(8);
+        let snuca = SNuca::new(8);
+        let mut resident: std::collections::HashMap<u64, usize> = Default::default();
+        for _ in 0..n_ops {
+            let line = rng.gen_bounded(48);
+            let m = meta(line, false);
+            match rng.gen_range_usize(0..3) {
+                0 if resident.contains_key(&line) => {
+                    let bank = resident.remove(&line).unwrap();
+                    wec.on_evict(line, bank);
+                }
+                1 if resident.contains_key(&line) => {
+                    wec.on_l3_write(resident[&line]);
+                }
+                _ => {
+                    if !resident.contains_key(&line) {
+                        let bank = wec.fill_bank(&m);
+                        wec.on_fill(&m, bank);
+                        wec.on_l3_write(bank);
+                        resident.insert(line, bank);
+                    }
+                }
+            }
+            let expect = resident
+                .get(&line)
+                .copied()
+                .unwrap_or_else(|| snuca.bank_of(line));
+            assert_eq!(wec.lookup_bank(&m), expect, "case {case}: line {line}");
+        }
+        let redirected = resident
+            .iter()
+            .filter(|&(&l, &b)| b != snuca.bank_of(l))
+            .count();
+        assert_eq!(wec.directory_len(), redirected, "case {case}");
+    }
+}
+
+/// Coloring bookkeeping is exact under any fill/write/evict schedule:
+/// fills land at the epoch-shifted home, resident lines stay pinned at
+/// their fill-time bank across epoch rotations, and absent lines resolve
+/// to the *current* shifted home.
+#[test]
+fn coloring_directory_exactness() {
+    let mut rng = SimRng::seed_from_u64(0x4E0C_0009);
+    for case in 0..CASES {
+        let n_ops = rng.gen_range_usize(1..300);
+        let n = 6usize; // non-pow2: the shift must wrap by modulo
+        let mut col = Coloring::new(n);
+        let snuca = SNuca::new(n);
+        let mut resident: std::collections::HashMap<u64, usize> = Default::default();
+        let mut writes = 0u64;
+        let shifted = |line: u64, writes: u64| {
+            (snuca.bank_of(line) + ((writes / COLORING_EPOCH) % n as u64) as usize) % n
+        };
+        for _ in 0..n_ops {
+            let line = rng.gen_bounded(48);
+            let m = meta(line, false);
+            match rng.gen_range_usize(0..3) {
+                0 if resident.contains_key(&line) => {
+                    let bank = resident.remove(&line).unwrap();
+                    col.on_evict(line, bank);
+                }
+                1 if resident.contains_key(&line) => {
+                    col.on_l3_write(resident[&line]);
+                    writes += 1;
+                }
+                _ => {
+                    if !resident.contains_key(&line) {
+                        let bank = col.fill_bank(&m);
+                        assert_eq!(bank, shifted(line, writes), "case {case}: fill");
+                        col.on_fill(&m, bank);
+                        col.on_l3_write(bank);
+                        writes += 1;
+                        resident.insert(line, bank);
+                    }
+                }
+            }
+            let expect = resident
+                .get(&line)
+                .copied()
+                .unwrap_or_else(|| shifted(line, writes));
+            assert_eq!(col.lookup_bank(&m), expect, "case {case}: line {line}");
+        }
+        assert_eq!(col.directory_len(), resident.len(), "case {case}");
+    }
+}
+
+/// The competitor policies are deterministic and route-cache safe: two
+/// independently built instances driven by the same seeded schedule make
+/// identical bank choices at every step (fresh-instance oracle, in the
+/// style of the fresh-TLB comparisons), and looking the same line up
+/// twice in a row returns the same bank — the resolved-route cache may
+/// replay any lookup result it captured.
+#[test]
+fn competitor_policies_are_deterministic_and_route_cache_safe() {
+    let meshes = [(1usize, 1usize), (3, 1), (3, 2), (4, 3)];
+    for (cols, rows) in meshes {
+        let cfg = cmp_sim::config::SystemConfig::mesh(cols, rows);
+        for scheme in Scheme::COMPETITORS {
+            let mut rng = SimRng::seed_from_u64(0x4E0C_000A ^ (cols * 16 + rows) as u64);
+            let mut a = scheme.build_policy(&cfg);
+            let mut b = scheme.build_policy(&cfg);
+            let mut resident: std::collections::HashMap<u64, usize> = Default::default();
+            for step in 0..400 {
+                let line = rng.gen_bounded(64);
+                let m = meta(line, false);
+                match rng.gen_range_usize(0..4) {
+                    0 if resident.contains_key(&line) => {
+                        let bank = resident.remove(&line).unwrap();
+                        a.on_evict(line, bank);
+                        b.on_evict(line, bank);
+                    }
+                    1 if resident.contains_key(&line) => {
+                        let bank = resident[&line];
+                        a.on_l3_write(bank);
+                        b.on_l3_write(bank);
+                    }
+                    _ => {
+                        if !resident.contains_key(&line) {
+                            let fa = a.fill_bank(&m);
+                            let fb = b.fill_bank(&m);
+                            assert_eq!(
+                                fa,
+                                fb,
+                                "{} fill diverged at step {step} on {cols}x{rows}",
+                                scheme.name()
+                            );
+                            a.on_fill(&m, fa);
+                            b.on_fill(&m, fb);
+                            a.on_l3_write(fa);
+                            b.on_l3_write(fb);
+                            resident.insert(line, fa);
+                        }
+                    }
+                }
+                let first = a.lookup_bank(&m);
+                assert_eq!(
+                    first,
+                    a.lookup_bank(&m),
+                    "{}: repeated lookup must be stable for the route cache",
+                    scheme.name()
+                );
+                assert_eq!(
+                    first,
+                    b.lookup_bank(&m),
+                    "{} lookup diverged at step {step} on {cols}x{rows}",
+                    scheme.name()
+                );
+            }
+        }
     }
 }
 

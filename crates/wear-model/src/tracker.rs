@@ -104,6 +104,67 @@ impl WearTracker {
         best
     }
 
+    /// Coefficient of variation (stdev / mean) of the per-set write totals
+    /// over every set of every bank, with `assoc` ways per set (slot index
+    /// = `set * assoc + way`). This is the *inter-set* write variation the
+    /// coloring-style remaps flatten: 0 means every set absorbs the same
+    /// number of writes.
+    ///
+    /// # Panics
+    /// Panics unless `assoc` divides the slots-per-bank geometry.
+    pub fn interset_cv(&self, assoc: usize) -> f64 {
+        assert!(
+            assoc > 0 && self.slots_per_bank % assoc == 0,
+            "assoc {assoc} must divide {} slots per bank",
+            self.slots_per_bank
+        );
+        let sets_per_bank = self.slots_per_bank / assoc;
+        let mut totals = Vec::with_capacity(self.nbanks * sets_per_bank);
+        for bank in 0..self.nbanks {
+            for set in 0..sets_per_bank {
+                let base = bank * self.slots_per_bank + set * assoc;
+                totals.push(self.writes[base..base + assoc].iter().sum::<u64>() as f64);
+            }
+        }
+        sim_stats::cv(&totals)
+    }
+
+    /// Mean, over every set that absorbed at least one write, of the
+    /// coefficient of variation across that set's per-way counters — the
+    /// *intra-set* write variation that write-aware replacement (MAC)
+    /// flattens. 0 when no set has been written.
+    ///
+    /// # Panics
+    /// Panics unless `assoc` divides the slots-per-bank geometry.
+    pub fn intraset_cv(&self, assoc: usize) -> f64 {
+        assert!(
+            assoc > 0 && self.slots_per_bank % assoc == 0,
+            "assoc {assoc} must divide {} slots per bank",
+            self.slots_per_bank
+        );
+        let sets_per_bank = self.slots_per_bank / assoc;
+        let mut sum = 0.0;
+        let mut touched = 0usize;
+        for bank in 0..self.nbanks {
+            for set in 0..sets_per_bank {
+                let base = bank * self.slots_per_bank + set * assoc;
+                let ways: Vec<f64> = self.writes[base..base + assoc]
+                    .iter()
+                    .map(|&w| w as f64)
+                    .collect();
+                if ways.iter().any(|&w| w > 0.0) {
+                    sum += sim_stats::cv(&ways);
+                    touched += 1;
+                }
+            }
+        }
+        if touched == 0 {
+            0.0
+        } else {
+            sum / touched as f64
+        }
+    }
+
     /// Reset all counters (between warm-up and measurement).
     pub fn reset(&mut self) {
         self.writes.iter_mut().for_each(|w| *w = 0);
@@ -208,6 +269,40 @@ mod tests {
         let slot_sum: u64 = (0..3).map(|s| t.slot_writes(1, s)).sum();
         assert_eq!(slot_sum, t.bank_writes(1));
         assert_eq!(t.bank_writes(1), 6);
+    }
+
+    #[test]
+    fn cv_counters_pin_exact_values() {
+        // 2 banks × 4 slots, assoc 2 → sets (bank, set): (0,0) ways (3,1),
+        // (0,1) untouched, (1,0) ways (2,2), (1,1) ways (0,8).
+        let mut t = WearTracker::new(2, 4);
+        for (slot, n) in [(0, 3u64), (1, 1)] {
+            for _ in 0..n {
+                t.record_write(0, slot);
+            }
+        }
+        for (slot, n) in [(0, 2u64), (1, 2), (3, 8)] {
+            for _ in 0..n {
+                t.record_write(1, slot);
+            }
+        }
+        // Set totals [4, 0, 4, 8]: mean 4, population stdev √8.
+        assert_eq!(t.interset_cv(2), 8.0f64.sqrt() / 4.0);
+        // Touched-set CVs: (3,1) → 0.5, (2,2) → 0, (0,8) → 1; mean 0.5.
+        assert_eq!(t.intraset_cv(2), 0.5);
+    }
+
+    #[test]
+    fn cv_counters_are_zero_on_a_pristine_tracker() {
+        let t = WearTracker::new(2, 4);
+        assert_eq!(t.interset_cv(2), 0.0);
+        assert_eq!(t.intraset_cv(2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn cv_counters_reject_bad_assoc() {
+        WearTracker::new(2, 4).interset_cv(3);
     }
 
     #[test]

@@ -17,9 +17,10 @@ echo "== workspace tests =="
 cargo test -q --workspace
 
 echo "== differential smoke: bounded seeded corpus vs the golden model =="
-# Fixed seeds, all five placement policies, pow2 and non-pow2 meshes
-# (see TESTING.md). diffcheck exits non-zero on any divergence and
-# writes the ddmin-shrunk reproducer under out/.
+# Fixed seeds, all eight placement policies, pow2 and non-pow2 meshes
+# (see TESTING.md), plus the per-scheme mutation self-checks. diffcheck
+# exits non-zero on any divergence and writes the ddmin-shrunk
+# reproducer under out/.
 ./target/release/diffcheck --quick --out out
 
 echo "== examples =="
@@ -98,6 +99,40 @@ if ! cmp -s "$CAMP_TMP/a/report.json" "$CAMP_TMP/b/report.json"; then
     exit 1
 fi
 echo "campaign smoke OK ($(wc -c < "$CAMP_TMP/a/report.json") byte report)"
+
+echo "== head-to-head smoke: competitor campaign run, crash, resume, verify =="
+# Same crash/resume/byte-compare discipline over the committed
+# head-to-head spec (Re-NUCA vs WEC / Coloring / MAC with the S-NUCA
+# reference, WL grid + WB write-burst family). The spec carries no budget
+# line, so the environment shrinks it for CI.
+H2H_RC=0
+RENUCA_WARMUP=50 RENUCA_MEASURE=300 \
+    ./target/release/campaign run campaigns/headtohead.campaign \
+    --out "$CAMP_TMP/h2h-a" --threads 1 --max-jobs 3 >/dev/null 2>&1 || H2H_RC=$?
+if [ "$H2H_RC" -ne 3 ] || [ -e "$CAMP_TMP/h2h-a/report.json" ]; then
+    echo "head-to-head smoke FAILED: interrupted run rc=$H2H_RC (want 3, no report)"
+    exit 1
+fi
+RENUCA_WARMUP=50 RENUCA_MEASURE=300 \
+    ./target/release/campaign resume campaigns/headtohead.campaign \
+    --out "$CAMP_TMP/h2h-a" --threads 2 >/dev/null 2>&1
+RENUCA_WARMUP=50 RENUCA_MEASURE=300 \
+    ./target/release/campaign verify campaigns/headtohead.campaign \
+    --out "$CAMP_TMP/h2h-a" >/dev/null 2>&1
+RENUCA_WARMUP=50 RENUCA_MEASURE=300 \
+    ./target/release/campaign run campaigns/headtohead.campaign \
+    --out "$CAMP_TMP/h2h-b" --threads 2 >/dev/null 2>&1
+if ! cmp -s "$CAMP_TMP/h2h-a/report.json" "$CAMP_TMP/h2h-b/report.json"; then
+    echo "head-to-head smoke FAILED: resumed report differs from uninterrupted run"
+    exit 1
+fi
+for s in Re-NUCA S-NUCA WEC Coloring MAC; do
+    if ! grep -q "\"scheme\":\"$s\"" "$CAMP_TMP/h2h-a/report.json"; then
+        echo "head-to-head smoke FAILED: scheme $s missing from report"
+        exit 1
+    fi
+done
+echo "head-to-head smoke OK ($(wc -c < "$CAMP_TMP/h2h-a/report.json") byte report)"
 
 echo "== daemon smoke: campaignd serves fig3 byte-identically to the CLI =="
 DAEMON_TMP="$(mktemp -d)"
