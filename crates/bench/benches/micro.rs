@@ -217,6 +217,21 @@ fn bench_workload_gen() {
     .report();
 }
 
+fn bench_compress() {
+    // The compressed scheme's per-write hot path: one size-class draw plus
+    // its sub-block mask per L3 write. Strided line/version streams keep
+    // the hash mixing real instead of constant-folding.
+    let spec = compress::CompressSpec::new(4, 0xC0DEC);
+    let mut i = 0u64;
+    bench("compress/size_class", move || {
+        i = i.wrapping_add(1);
+        let line = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let v = (i & 255) as u32;
+        black_box((spec.class_of(line, v), spec.mask_of(line, v)))
+    })
+    .report();
+}
+
 fn bench_wear() {
     let mut tracker = WearTracker::new(16, 32768);
     let mut i = 0usize;
@@ -237,6 +252,26 @@ fn bench_full_system() {
             let cfg = SystemConfig::default();
             let wl = workload_mix(1, cfg.n_cores);
             let scheme = Scheme::ReNuca;
+            let preds: Vec<Box<dyn CriticalityPredictor>> =
+                scheme.build_predictors(&cfg, CptConfig::default());
+            System::new(cfg, scheme.build_policy(&cfg), wl.build_sources(), preds)
+        },
+        |mut sys| {
+            sys.run(10_000);
+            black_box(sys.now())
+        },
+    )
+    .report();
+    // The compressed variant of the same run: adds the per-write
+    // size-class draw, sub-block wear charging and expansion re-fills, so
+    // this line tracks the overhead of the compression subsystem on
+    // whole-simulator throughput.
+    bench_with_setup(
+        "system/16core_renucac2_10k_instr",
+        || {
+            let cfg = SystemConfig::default();
+            let wl = workload_mix(1, cfg.n_cores);
+            let scheme = Scheme::ReNucaC2;
             let preds: Vec<Box<dyn CriticalityPredictor>> =
                 scheme.build_predictors(&cfg, CptConfig::default());
             System::new(cfg, scheme.build_policy(&cfg), wl.build_sources(), preds)
@@ -278,6 +313,7 @@ fn main() {
     bench_placement();
     bench_llc_banks();
     bench_workload_gen();
+    bench_compress();
     bench_wear();
     bench_full_system();
 }

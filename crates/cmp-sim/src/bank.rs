@@ -63,6 +63,14 @@ pub struct BankStats {
     pub write_ops: Counter,
     /// Data-array writes from fills (demand, prefetch, write-allocate).
     pub fill_ops: Counter,
+    /// Data-array programs from compression *expansion re-fills*: a
+    /// resident line's size class grew past its allocation and the line
+    /// was re-compacted into a bigger one. Kept separate from `fill_ops`
+    /// because expansions re-program sub-blocks the triggering write
+    /// already aged — the wear model charges them zero extra line wear,
+    /// so the `fill_ops + write_ops == wear` accounting identity the
+    /// differential harness pins stays intact.
+    pub expand_ops: Counter,
     /// Cycles *reads* spent queued behind a busy data array. Writes and
     /// fills are posted (write-buffer semantics): a deferred write start
     /// delays no requester, so their waiting is not a stall and is
@@ -88,7 +96,7 @@ pub struct BankStats {
 impl BankStats {
     /// Total operations the bank served.
     pub fn ops(&self) -> u64 {
-        self.read_ops.get() + self.write_ops.get() + self.fill_ops.get()
+        self.read_ops.get() + self.write_ops.get() + self.fill_ops.get() + self.expand_ops.get()
     }
 
     /// Sum of the four op-transition counters; `ops() - 1` when the bank
@@ -105,6 +113,9 @@ impl BankStats {
         reg.set(format!("{prefix}.read_ops"), self.read_ops.get());
         reg.set(format!("{prefix}.write_ops"), self.write_ops.get());
         reg.set(format!("{prefix}.fill_ops"), self.fill_ops.get());
+        if self.expand_ops.get() != 0 {
+            reg.set(format!("{prefix}.expand_ops"), self.expand_ops.get());
+        }
         reg.set(format!("{prefix}.queue_cycles"), self.queue_cycles.get());
         reg.set(format!("{prefix}.rar"), self.rar.get());
         reg.set(format!("{prefix}.raw"), self.raw.get());
@@ -192,6 +203,16 @@ impl LlcBanks {
     pub fn fill(&mut self, bank: BankId, now: Cycle) -> Cycle {
         let done = self.service(bank, OpClass::Write, now);
         self.banks[bank].stats.fill_ops.inc();
+        done
+    }
+
+    /// A compression expansion re-fill arriving at `now`: identical
+    /// write-class occupancy (the re-compaction programs the data array
+    /// like any write), posted like a fill, counted separately — see
+    /// [`BankStats::expand_ops`] for why it stays out of `fill_ops`.
+    pub fn expand(&mut self, bank: BankId, now: Cycle) -> Cycle {
+        let done = self.service(bank, OpClass::Write, now);
+        self.banks[bank].stats.expand_ops.inc();
         done
     }
 
@@ -363,6 +384,21 @@ mod tests {
         assert_eq!(s.write_service.max(), Some(400));
         assert_eq!(s.read_service.count(), 1);
         assert_eq!(s.read_service.max(), Some(400));
+    }
+
+    #[test]
+    fn expand_occupies_like_a_write_but_counts_separately() {
+        let mut b = asym();
+        assert_eq!(b.expand(0, 1000), 1400);
+        // Posted like a write: a queued expansion stalls nobody.
+        assert_eq!(b.expand(0, 1100), 1800);
+        let s = b.stats(0);
+        assert_eq!(s.expand_ops.get(), 2);
+        assert_eq!(s.fill_ops.get(), 0);
+        assert_eq!(s.queue_cycles.get(), 0);
+        assert_eq!(s.ops(), 2);
+        assert_eq!(s.waw.get(), 1);
+        assert_eq!(s.transitions(), 1);
     }
 
     #[test]

@@ -250,6 +250,16 @@ pub struct SystemConfig {
     /// infinite internal bandwidth — combined with a symmetric
     /// [`CacheGeometry`] that reproduces the legacy timings exactly.
     pub l3_bank_occupancy: bool,
+    /// Sub-blocks per 64 B L3 line for the compressed-LLC schemes
+    /// (L2C2-style compaction, ROADMAP item 4): the granularity size
+    /// classes are allocated and sub-block wear is counted at. Must
+    /// divide the line size ([`SystemConfig::validate`] enforces it).
+    /// Only consulted when the placement policy advertises a compression
+    /// model; placement-only schemes ignore it entirely.
+    pub l3_subblocks: usize,
+    /// Seed of the deterministic compression content model (which size
+    /// class each `(line, version)` write compresses to).
+    pub compress_seed: u64,
 }
 
 impl Default for SystemConfig {
@@ -282,6 +292,8 @@ impl Default for SystemConfig {
             prefetch: PrefetchConfig::default(),
             intra_bank_rotation_writes: None,
             l3_bank_occupancy: true,
+            l3_subblocks: 4,
+            compress_seed: 0xC0DEC,
         }
     }
 }
@@ -453,6 +465,8 @@ impl SystemConfig {
         if self.l3_bank_occupancy {
             reg.set(format!("{prefix}.l3_bank_occupancy"), 1u64);
         }
+        reg.set(format!("{prefix}.l3_subblocks"), self.l3_subblocks as u64);
+        reg.set(format!("{prefix}.compress_seed"), self.compress_seed);
     }
 
     /// Validate internal consistency. Called by `System::new`.
@@ -492,6 +506,16 @@ impl SystemConfig {
         }
         assert!(self.tlb_entries % self.tlb_assoc == 0);
         assert!((self.tlb_entries / self.tlb_assoc).is_power_of_two());
+        // The compression model splits a line into equal sub-blocks; a
+        // count that does not divide the 64 B line would leave a ragged
+        // tail sub-block the wear masks cannot address.
+        assert!(
+            self.l3_subblocks >= 1
+                && self.l3_subblocks as u64 <= LINE_BYTES
+                && LINE_BYTES % self.l3_subblocks as u64 == 0,
+            "l3_subblocks = {} must divide the {LINE_BYTES} B line size",
+            self.l3_subblocks
+        );
     }
 }
 
@@ -617,5 +641,30 @@ mod tests {
     #[test]
     fn dram_total_banks() {
         assert_eq!(DramConfig::default().total_banks(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide the 64 B line size")]
+    fn non_dividing_subblock_count_rejected() {
+        let mut c = SystemConfig::default();
+        c.l3_subblocks = 3;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide the 64 B line size")]
+    fn zero_subblock_count_rejected() {
+        let mut c = SystemConfig::default();
+        c.l3_subblocks = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn dividing_subblock_counts_accepted() {
+        for sb in [1usize, 2, 4, 8, 16, 32, 64] {
+            let mut c = SystemConfig::default();
+            c.l3_subblocks = sb;
+            c.validate();
+        }
     }
 }

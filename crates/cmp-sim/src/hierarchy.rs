@@ -159,6 +159,44 @@ impl HierarchyStats {
     }
 }
 
+/// Per-bank compression counters, populated only when the placement policy
+/// drives a [`compress::CompressSpec`] (see [`LlcPlacement::compression`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BankCompressStats {
+    /// Writes (fills and writebacks) whose content compressed to each size
+    /// class, indexed by `log2(class)`: `[class-1, class-2, class-4]`.
+    pub class_writes: [u64; 3],
+    /// In-place expansions: writebacks whose size class outgrew the slot's
+    /// allocation, re-programming the line through an extra bank operation.
+    pub expansions: u64,
+}
+
+impl BankCompressStats {
+    /// Register every counter under `<prefix>.compress.<field>`.
+    pub fn register(&self, reg: &mut sim_stats::StatsRegistry, prefix: &str) {
+        for (i, &w) in self.class_writes.iter().enumerate() {
+            reg.set(format!("{prefix}.compress.class{}_writes", 1u32 << i), w);
+        }
+        reg.set(format!("{prefix}.compress.expansions"), self.expansions);
+    }
+}
+
+/// Per-slot compression bookkeeping for a compressed L3 (L2C2-style).
+///
+/// Each physical slot records the size class its resident line was last
+/// *allocated* at and a write version (reset on fill) that drives both the
+/// content model and the rotating sub-block mask. Allocation only grows in
+/// place — a write that compresses smaller leaves the allocation alone (no
+/// re-compaction), one that compresses larger triggers an expansion.
+struct CompressState {
+    spec: compress::CompressSpec,
+    /// Allocated size class per physical slot, `[bank][slot]`.
+    class: Vec<Vec<u8>>,
+    /// Write version per physical slot, `[bank][slot]`.
+    version: Vec<Vec<u32>>,
+    stats: Vec<BankCompressStats>,
+}
+
 /// One stride-detector entry of a per-core prefetcher.
 #[derive(Clone, Copy, Debug, Default)]
 struct StreamEntry {
@@ -185,6 +223,8 @@ pub struct MemoryHierarchy {
     pub dir: Directory,
     /// ReRAM wear counters for the L3 banks.
     pub wear: WearTracker,
+    /// Compressed-placement state, present iff the policy drives one.
+    compress: Option<CompressState>,
     policy: Box<dyn LlcPlacement>,
     per_core: Vec<PerCoreMemStats>,
     /// Global counters.
@@ -228,6 +268,10 @@ impl MemoryHierarchy {
         let mc_tiles = (0..cfg.dram.channels)
             .map(|c| corners[c % corners.len()])
             .collect();
+        // Queried once at construction, like `l3_replacement` below: a
+        // compressed policy switches the wear model to per-cell sub-block
+        // accounting for the whole run.
+        let compression = policy.compression();
         MemoryHierarchy {
             l1: (0..cfg.n_cores)
                 .map(|_| SetAssocCache::new(cfg.l1, false))
@@ -249,7 +293,18 @@ impl MemoryHierarchy {
             // at Σ L2 lines, plus one in-flight grant per core (a line is
             // granted before its L2 victim is evicted).
             dir: Directory::with_capacity(cfg.n_cores * cfg.l2.lines() + cfg.n_cores),
-            wear: WearTracker::new(cfg.n_banks, cfg.l3_bank.lines()),
+            wear: match compression {
+                Some(spec) => {
+                    WearTracker::with_subblocks(cfg.n_banks, cfg.l3_bank.lines(), spec.sub_blocks)
+                }
+                None => WearTracker::new(cfg.n_banks, cfg.l3_bank.lines()),
+            },
+            compress: compression.map(|spec| CompressState {
+                spec,
+                class: vec![vec![0; cfg.l3_bank.lines()]; cfg.n_banks],
+                version: vec![vec![0; cfg.l3_bank.lines()]; cfg.n_banks],
+                stats: vec![BankCompressStats::default(); cfg.n_banks],
+            }),
             policy,
             per_core: vec![PerCoreMemStats::default(); cfg.n_cores],
             stats: HierarchyStats::default(),
@@ -315,6 +370,80 @@ impl MemoryHierarchy {
     /// Whether `line` is present in L3 bank `bank` (invariant checks).
     pub fn l3_bank_contains(&self, bank: BankId, line: u64) -> bool {
         self.l3[bank].contains(line)
+    }
+
+    /// The compression spec the placement policy drives, if any.
+    pub fn compression_spec(&self) -> Option<compress::CompressSpec> {
+        self.compress.as_ref().map(|c| c.spec)
+    }
+
+    /// One bank's compression counters (default/zero when compression is
+    /// off).
+    pub fn compress_stats(&self, bank: BankId) -> BankCompressStats {
+        self.compress
+            .as_ref()
+            .map(|c| c.stats[bank])
+            .unwrap_or_default()
+    }
+
+    /// All banks' compression counters; empty when compression is off.
+    pub fn compress_stats_vec(&self) -> Vec<BankCompressStats> {
+        self.compress
+            .as_ref()
+            .map(|c| c.stats.clone())
+            .unwrap_or_default()
+    }
+
+    /// The `(allocated size class, write version)` of one physical L3
+    /// slot, or `None` when compression is off (differential-harness
+    /// state comparison; slots never filled read `(0, 0)`).
+    pub fn compress_slot(&self, bank: BankId, slot: usize) -> Option<(u8, u32)> {
+        self.compress
+            .as_ref()
+            .map(|c| (c.class[bank][slot], c.version[bank][slot]))
+    }
+
+    /// Charge one L3 data-array write of `line` at `(bank, slot)` against
+    /// the wear model.
+    ///
+    /// Uncompressed: a full-line write. Compressed: the content model
+    /// yields the write's size class and rotating sub-block mask; only
+    /// those cells age. Returns `true` when a non-fill write outgrew the
+    /// slot's allocated class — the caller must then service the expansion
+    /// re-program through the bank model ([`LlcBanks::expand`]). The
+    /// expansion itself charges *no* extra wear: the triggering write's
+    /// mask already aged every cell this write touches.
+    fn charge_l3_write(&mut self, bank: BankId, slot: usize, line: u64, is_fill: bool) -> bool {
+        let Some(cs) = self.compress.as_mut() else {
+            self.wear.record_write(bank, slot);
+            return false;
+        };
+        if is_fill {
+            // A fill installs fresh content: version restarts, and the
+            // slot's allocation is exactly the fill's compressed size.
+            cs.version[bank][slot] = 0;
+        }
+        let v = cs.version[bank][slot];
+        let c = cs.spec.class_of(line, v);
+        self.wear
+            .record_subblock_write(bank, slot, cs.spec.mask_of(line, v));
+        cs.stats[bank].class_writes[c.trailing_zeros() as usize] += 1;
+        cs.version[bank][slot] = v + 1;
+        if is_fill {
+            cs.class[bank][slot] = c;
+            return false;
+        }
+        let alloc = cs.class[bank][slot];
+        let expand = if cs.spec.expand_on_equal {
+            c >= alloc
+        } else {
+            c > alloc
+        };
+        if expand {
+            cs.class[bank][slot] = c.max(alloc);
+            cs.stats[bank].expansions += 1;
+        }
+        expand
     }
 
     /// A demand load from `core` for physical address `phys`.
@@ -675,8 +804,8 @@ impl MemoryHierarchy {
         // slow write, delaying later operations.
         self.banks.fill(bank, now);
         let out = self.l3[bank].fill(meta.line, false);
-        self.wear
-            .record_write(bank, self.l3[bank].slot_index(out.set, out.way));
+        let slot = self.l3[bank].slot_index(out.set, out.way);
+        self.charge_l3_write(bank, slot, meta.line, true);
         self.stats.l3_fills.inc();
         self.stats.l3_writes.inc();
         self.trace.record(TraceEvent::Fill {
@@ -803,8 +932,10 @@ impl MemoryHierarchy {
         match self.l3[bank].probe(line) {
             LookupResult::Hit { set, way } => {
                 self.l3[bank].mark_dirty(line);
-                self.wear
-                    .record_write(bank, self.l3[bank].slot_index(set, way));
+                let slot = self.l3[bank].slot_index(set, way);
+                if self.charge_l3_write(bank, slot, line, false) {
+                    self.banks.expand(bank, t_arrive);
+                }
             }
             LookupResult::Miss => {
                 // Inclusion makes this unreachable unless an intra-bank
@@ -818,8 +949,8 @@ impl MemoryHierarchy {
                     line
                 );
                 let out = self.l3[bank].fill(line, true);
-                self.wear
-                    .record_write(bank, self.l3[bank].slot_index(out.set, out.way));
+                let slot = self.l3[bank].slot_index(out.set, out.way);
+                self.charge_l3_write(bank, slot, line, true);
                 if let Some(ev) = out.evicted {
                     self.evict_l3_victim(ev.line, ev.dirty, bank, now);
                 }
@@ -851,6 +982,13 @@ impl MemoryHierarchy {
         self.banks.reset_stats();
         self.dir.reset_stats();
         self.wear.reset();
+        // Compression *counters* reset; per-slot class/version is cache
+        // state and survives the warm-up boundary like the tags do.
+        if let Some(cs) = self.compress.as_mut() {
+            cs.stats
+                .iter_mut()
+                .for_each(|s| *s = BankCompressStats::default());
+        }
         self.per_core
             .iter_mut()
             .for_each(|s| *s = PerCoreMemStats::default());
@@ -1242,6 +1380,102 @@ mod tests {
                 assert_eq!(s.transitions(), s.ops() - 1, "bank {b} transition sum");
             }
         }
+    }
+
+    /// Striped placement driving the compression model (the substrate-level
+    /// stand-in for Re-NUCA-C2, defined locally like `Striped`).
+    struct CompressedStriped {
+        nbanks: usize,
+        spec: compress::CompressSpec,
+    }
+    impl LlcPlacement for CompressedStriped {
+        fn name(&self) -> &'static str {
+            "striped-c2"
+        }
+        fn lookup_bank(&mut self, m: &AccessMeta) -> BankId {
+            (m.line as usize) & (self.nbanks - 1)
+        }
+        fn fill_bank(&mut self, m: &AccessMeta) -> BankId {
+            (m.line as usize) & (self.nbanks - 1)
+        }
+        fn compression(&self) -> Option<compress::CompressSpec> {
+            Some(self.spec)
+        }
+    }
+
+    fn compressed_hier(n: usize) -> MemoryHierarchy {
+        let cfg = SystemConfig::small(n);
+        let spec = compress::CompressSpec::new(cfg.l3_subblocks, cfg.compress_seed);
+        MemoryHierarchy::new(&cfg, Box::new(CompressedStriped { nbanks: n, spec }))
+    }
+
+    #[test]
+    fn compressed_fills_charge_subblock_wear() {
+        let mut h = compressed_hier(4);
+        for i in 0..256u64 {
+            h.load(0, phys_addr(0, i * 64), 1, false, i * 2_000);
+        }
+        // Line-level accounting is untouched by compression: every fill
+        // still counts one line write.
+        assert_eq!(h.wear.total_writes(), h.stats.l3_fills.get());
+        // Cell-level accounting is compacted: between 1 (class-1) and 4
+        // (class-4) sub-blocks per line write, strictly fewer than the
+        // full-line 4x in aggregate (E[class] = 2).
+        let sb = h.wear.subblock_total_writes();
+        let lines = h.wear.total_writes();
+        assert!(sb >= lines && sb < 4 * lines, "sb {sb} vs lines {lines}");
+        // Class histogram covers all three classes and sums to the writes.
+        let mut hist = [0u64; 3];
+        for b in 0..4 {
+            let s = h.compress_stats(b);
+            for (i, w) in s.class_writes.iter().enumerate() {
+                hist[i] += w;
+            }
+        }
+        assert_eq!(hist.iter().sum::<u64>(), lines);
+        assert!(hist.iter().all(|&w| w > 0), "all classes used: {hist:?}");
+        // Slot state is live: the last-filled line's slot has version 1.
+        assert!(h.compress_slot(0, 0).is_some());
+    }
+
+    #[test]
+    fn expansions_match_bank_ops_and_charge_no_extra_wear() {
+        let mut h = compressed_hier(4);
+        // Mixed traffic with writebacks so in-place updates (and hence
+        // expansions) occur.
+        for i in 0..128u64 {
+            let c = (i % 4) as usize;
+            h.load(c, phys_addr(c, i * 64 * 131), 1, false, i * 3_000);
+            h.store(c, phys_addr(c, i * 64 * 131), 2, i * 3_000 + 500);
+            for j in 1..=16u64 {
+                let conflict = phys_addr(c, i * 64 * 131 + j * (512 * 64 * 8));
+                h.load(c, conflict, 3, false, i * 3_000 + 600 + j * 100);
+            }
+        }
+        let expansions: u64 = (0..4).map(|b| h.compress_stats(b).expansions).sum();
+        assert!(expansions > 0, "writeback traffic must expand some slots");
+        for b in 0..4 {
+            let s = h.banks.stats(b);
+            // Every expansion is serviced as exactly one extra bank op,
+            // kept out of fill_ops so the wear identity is preserved.
+            assert_eq!(s.expand_ops.get(), h.compress_stats(b).expansions);
+            assert_eq!(
+                s.fill_ops.get() + s.write_ops.get(),
+                h.wear.bank_totals()[b],
+                "bank {b}: line wear counts logical writes only"
+            );
+        }
+        // Expansions charge no line wear: the global write identity holds.
+        assert_eq!(h.stats.l3_writes.get(), h.wear.total_writes());
+    }
+
+    #[test]
+    fn uncompressed_policies_see_no_compression_state() {
+        let h = hier(4);
+        assert!(h.compression_spec().is_none());
+        assert!(h.compress_slot(0, 0).is_none());
+        assert_eq!(h.compress_stats_vec(), vec![]);
+        assert_eq!(h.wear.subblocks_per_slot(), 0);
     }
 
     #[test]

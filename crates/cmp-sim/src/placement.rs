@@ -97,6 +97,18 @@ pub trait LlcPlacement {
         ReplacementKind::Lru
     }
 
+    /// Compression model this placement drives, if any. The hierarchy
+    /// queries this once at construction (like
+    /// [`LlcPlacement::l3_replacement`]) and, when `Some`, keeps per-slot
+    /// size-class state, charges sub-block wear masks instead of full-line
+    /// writes, and services expansion re-fills through the bank model.
+    /// Placement-only schemes keep the default — same pattern as the
+    /// replacement hook: compression is a property of the scheme, not a
+    /// `SystemConfig` switch.
+    fn compression(&self) -> Option<compress::CompressSpec> {
+        None
+    }
+
     /// Concrete-type escape hatch for verification tooling: policies with
     /// inspectable internal state (Re-NUCA's Mapping Bit Vectors, the Naive
     /// oracle's directory and write counters) return `Some(self)` so the

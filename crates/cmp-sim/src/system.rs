@@ -3,7 +3,7 @@
 
 use crate::config::SystemConfig;
 use crate::cpu::{CoreModel, CoreStats};
-use crate::hierarchy::{HierarchyStats, MemoryHierarchy, PerCoreMemStats};
+use crate::hierarchy::{BankCompressStats, HierarchyStats, MemoryHierarchy, PerCoreMemStats};
 use crate::instr::InstrSource;
 use crate::placement::{CriticalityPredictor, LlcPlacement, NeverCritical, PredictorStats};
 use crate::types::{CoreId, Cycle};
@@ -65,6 +65,9 @@ pub struct SimResult {
     pub l3_banks: Vec<crate::cache::CacheStats>,
     /// Per-bank data-array service/contention statistics (index = bank).
     pub bank_service: Vec<crate::bank::BankStats>,
+    /// Per-bank compression counters (index = bank); empty for
+    /// uncompressed schemes.
+    pub compress_banks: Vec<BankCompressStats>,
     /// Echo of the configuration that produced this run.
     pub config: SystemConfig,
 }
@@ -144,6 +147,11 @@ impl SimResult {
             if let Some(bs) = self.bank_service.get(b) {
                 bs.register(&mut reg, &p);
             }
+            // Only compressed schemes carry these banks, so uncompressed
+            // manifests are unchanged.
+            if let Some(cb) = self.compress_banks.get(b) {
+                cb.register(&mut reg, &p);
+            }
         }
         self.hierarchy.register(&mut reg, "hierarchy");
         self.noc.register(&mut reg, "noc");
@@ -156,6 +164,12 @@ impl SimResult {
         let assoc = self.config.l3_bank.assoc;
         reg.set("wear.interset_cv", self.wear.interset_cv(assoc));
         reg.set("wear.intraset_cv", self.wear.intraset_cv(assoc));
+        // Cell-granularity spread across sub-block positions — what the
+        // rotating compressed-write mask flattens. Only meaningful (and
+        // only emitted) when sub-block accounting is on.
+        if self.wear.subblocks_per_slot() != 0 {
+            reg.set("wear.subblock_cv", self.wear.subblock_cv());
+        }
         reg
     }
 }
@@ -376,6 +390,7 @@ impl System {
                 .map(|b| self.mem.l3_stats(b))
                 .collect(),
             bank_service: self.mem.banks.stats_vec(),
+            compress_banks: self.mem.compress_stats_vec(),
             config: self.cfg,
         }
     }

@@ -1,0 +1,114 @@
+//! The L2C2 analytical lifetime forecast (arXiv:2204.03512), ported to
+//! this simulator's wear model.
+//!
+//! The forecast's pitch: once you know a workload's **write distribution**
+//! on the uncompressed cache and the **compression-ratio distribution** of
+//! its lines, the compressed cache's lifetime follows in closed form — no
+//! re-simulation. In their notation the per-cell write rate scales by the
+//! expected fraction of the line each compressed write programs; lifetime,
+//! being endurance divided by the per-cell write rate, scales by the
+//! inverse:
+//!
+//! ```text
+//! lifetime_compressed(bank) = lifetime_uncompressed(bank) * S / E[c]
+//! ```
+//!
+//! where `S` is the number of sub-blocks per line and `E[c]` the expected
+//! size class (expected compressed size in sub-blocks) under the content
+//! model's pinned distribution ([`crate::CLASS_PROBABILITIES`]). Rotation
+//! of the written sub-blocks (see [`crate::model`]) makes the intra-line
+//! wear uniform, which is the assumption that lets the scaling apply
+//! per-cell.
+//!
+//! For the default 4-sub-block line, `E[c] = 0.5·1 + 0.25·2 + 0.25·4 = 2`,
+//! so compression forecasts a **2× lifetime gain** at equal placement.
+//!
+//! The forecast is deliberately *independent* of the sub-block wear
+//! instrumentation: it consumes only the uncompressed run's per-bank
+//! lifetimes. `experiments::forecast` cross-checks it against fully
+//! simulated compressed lifetimes on every workload, within
+//! [`FORECAST_TOLERANCE`] — a second verification path beside the golden
+//! model, and the acceptance gate of the compression campaign.
+
+use crate::model::CLASS_PROBABILITIES;
+
+/// Documented relative tolerance of the forecast-vs-simulation
+/// cross-check (15%). The comparison is iso-timing (see
+/// `experiments::forecast`), so the residual has two sources:
+/// finite-sample noise of the realized class distribution, and cross-run
+/// divergence of a *shared* 16-core cache — the compressed run's
+/// expansion slowdown changes how core request streams interleave, which
+/// shifts conflict evictions and with them per-bank writeback totals by
+/// up to ~12% on interleaving-sensitive mixes (WL1 at full budget).
+/// Systematic model breakage sits far outside this band: dropping the
+/// iso-timing correction alone reads as 29%, and a wear-charging bug
+/// (full-line aging) as ~50%, so the gate keeps its teeth.
+pub const FORECAST_TOLERANCE: f64 = 0.15;
+
+/// Expected size class `E[min(c, sub_blocks)]` under the pinned class
+/// distribution, clamped the same way the model clamps (a class larger
+/// than the line's sub-block count occupies the whole line).
+pub fn expected_class(sub_blocks: usize) -> f64 {
+    CLASS_PROBABILITIES
+        .iter()
+        .map(|&(c, p)| p * f64::from(c.min(sub_blocks as u8)))
+        .sum()
+}
+
+/// The forecast lifetime-gain factor `S / E[c]`: how much longer the
+/// compressed cache lives at equal placement. 2.0 for the default
+/// 4-sub-block line; 1.0 when `sub_blocks == 1` (no compaction possible).
+pub fn lifetime_gain(sub_blocks: usize) -> f64 {
+    sub_blocks as f64 / expected_class(sub_blocks)
+}
+
+/// Apply the closed form to a vector of per-bank uncompressed lifetimes.
+pub fn forecast_bank_lifetimes(uncompressed_years: &[f64], sub_blocks: usize) -> Vec<f64> {
+    let gain = lifetime_gain(sub_blocks);
+    uncompressed_years.iter().map(|&y| y * gain).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_class_pins() {
+        assert!((expected_class(4) - 2.0).abs() < 1e-12);
+        assert!((expected_class(64) - 2.0).abs() < 1e-12);
+        // 2-sub-block line: class 4 clamps to 2 -> 0.5 + 0.25*2 + 0.25*2.
+        assert!((expected_class(2) - 1.5).abs() < 1e-12);
+        assert!((expected_class(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_pins() {
+        assert!((lifetime_gain(4) - 2.0).abs() < 1e-12);
+        assert!((lifetime_gain(2) - 2.0 / 1.5).abs() < 1e-12);
+        assert!((lifetime_gain(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forecast_scales_per_bank() {
+        let base = [1.0, 2.5, 0.0];
+        let f = forecast_bank_lifetimes(&base, 4);
+        assert_eq!(f, vec![2.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn empirical_class_mean_matches_closed_form() {
+        // The realized mean class over a large (line, version) sample must
+        // land on E[c] — the bridge between the hash and the closed form.
+        let spec = crate::CompressSpec::new(4, 0xC0DEC);
+        let mut sum = 0u64;
+        let n = 100_000u64;
+        for i in 0..n {
+            sum += u64::from(spec.class_of(i * 31, (i % 11) as u32));
+        }
+        let mean = sum as f64 / n as f64;
+        assert!(
+            (mean - expected_class(4)).abs() < 0.02,
+            "empirical mean class {mean}"
+        );
+    }
+}

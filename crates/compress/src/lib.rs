@@ -1,0 +1,35 @@
+//! Deterministic per-line compression model for the compressed ReRAM LLC
+//! (ROADMAP item 4: L2C2, Escuin et al., arXiv:2204.09504) plus the
+//! analytical lifetime forecast of their companion procedure
+//! (arXiv:2204.03512).
+//!
+//! The simulator has no data contents — applications are statistical
+//! models — so compressibility itself is modelled: a seeded hash of
+//! `(line, version)` assigns every write of a line a **size class** (how
+//! many 16-byte sub-blocks the compressed line occupies). The model is
+//! deliberately simple but has the two properties the study needs:
+//!
+//! * **determinism** — the same `(seed, line, version)` always compresses
+//!   to the same class, so the golden twin in `crates/golden` (which
+//!   re-implements the hash independently) and the real hierarchy stay in
+//!   lockstep and the differential harness can bit-compare their
+//!   compression directories;
+//! * **a pinned class distribution** — classes 1/2/4 occur with
+//!   probability 1/2, 1/4, 1/4, giving an expected compressed size of 2
+//!   sub-blocks per write on a 4-sub-block line. The forecast closed form
+//!   ([`forecast`]) consumes exactly this distribution, which is what
+//!   makes the analytical lifetime cross-check meaningful.
+//!
+//! [`CompressSpec`] is the knob bundle a placement policy advertises
+//! through `LlcPlacement::compression`; `cmp-sim`'s hierarchy turns it
+//! into per-slot class/version state, sub-block wear accounting and
+//! expansion re-fills.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forecast;
+pub mod model;
+
+pub use forecast::{expected_class, forecast_bank_lifetimes, lifetime_gain, FORECAST_TOLERANCE};
+pub use model::{size_class, subblock_mask, CompressSpec, CLASS_PROBABILITIES};

@@ -1,7 +1,8 @@
-//! Head-to-head wear-management study: Re-NUCA vs the related-work
-//! competitors — WEC hot-bank redirection, epoch-rotated Coloring and
-//! MAC's write-aware replacement — with S-NUCA as the neutral reference
-//! (DESIGN.md §14, EXPERIMENTS.md "Head-to-head").
+//! Head-to-head wear-management study: Re-NUCA and its compressed
+//! Re-NUCA-C2 variant vs the related-work competitors — WEC hot-bank
+//! redirection, epoch-rotated Coloring and MAC's write-aware replacement —
+//! with S-NUCA as the neutral reference (DESIGN.md §14–§15, EXPERIMENTS.md
+//! "Head-to-head").
 //!
 //! Two grids on the 16-core default machine:
 //!
@@ -41,7 +42,7 @@ fn main() {
     let cpt = CptConfig::default();
     let assoc = cfg.l3_bank.assoc;
 
-    let mut contenders = vec![Scheme::ReNuca, Scheme::SNuca];
+    let mut contenders = vec![Scheme::ReNuca, Scheme::ReNucaC2, Scheme::SNuca];
     contenders.extend(Scheme::COMPETITORS);
 
     let rows: Vec<(Scheme, Contender)> = contenders

@@ -50,7 +50,7 @@ use golden::{
     GoldenSystem, TraceOp, TraceSpec,
 };
 use renuca_core::{
-    Coloring, Cpt, CptConfig, Mac, NaiveOracle, ReNuca, Scheme, Wec, COLORING_EPOCH,
+    Coloring, Cpt, CptConfig, Mac, NaiveOracle, ReNuca, ReNucaC2, Scheme, Wec, COLORING_EPOCH,
 };
 use sim_stats::{StatsRegistry, TraceBuffer, TraceCategory, TraceEvent};
 
@@ -212,6 +212,10 @@ impl LlcPlacement for MutantPolicy {
     fn l3_replacement(&self) -> cmp_sim::cache::ReplacementKind {
         self.inner.l3_replacement()
     }
+
+    fn compression(&self) -> Option<compress::CompressSpec> {
+        self.inner.compression()
+    }
 }
 
 /// Per-scheme bug injection for [`replay_mutated`]. The stateless schemes
@@ -222,7 +226,11 @@ impl LlcPlacement for MutantPolicy {
 ///
 /// * WEC redirects hot fills one bank past the coldest;
 /// * Coloring rotates its remap one write too early (epoch 63, not 64);
-/// * MAC inverts its replacement policy (evict dirty-first, not clean-first).
+/// * MAC inverts its replacement policy (evict dirty-first, not clean-first);
+/// * Re-NUCA-C2 expands on class *equality*, not strict growth
+///   (`CompressSpec::expand_on_equal`) — placement stays identical and
+///   only the expansion counters and bank `expand_ops` drift, so catching
+///   it requires the compression-state comparison.
 fn inject_bug(
     scheme: Scheme,
     cfg: &SystemConfig,
@@ -237,6 +245,18 @@ fn inject_bug(
             COLORING_EPOCH - 1,
         )),
         Scheme::Mac => Box::new(Mac::bugged(cfg.n_banks)),
+        Scheme::ReNucaC2 => Box::new(
+            ReNucaC2::new(
+                ReNuca::with_tlb_geometry(
+                    cfg.noc.cols,
+                    cfg.noc.rows,
+                    cfg.tlb_entries,
+                    cfg.tlb_assoc,
+                ),
+                compress::CompressSpec::new(cfg.l3_subblocks, cfg.compress_seed),
+            )
+            .bugged(),
+        ),
         _ => Box::new(MutantPolicy {
             inner: policy,
             n_banks: cfg.n_banks,
@@ -306,10 +326,10 @@ fn run_diff(
     let gscheme = GoldenScheme::from_name(scheme.name()).expect("golden mirrors every scheme");
     let mut g = GoldenSystem::new(cfg, GoldenPolicy::new(gscheme, cols, rows));
 
-    // Twin criticality predictors (Re-NUCA only): the real CPT feeds the
-    // real hierarchy, the golden CPT feeds the golden system, and their
-    // verdicts must agree at every issue.
-    let renuca = scheme == Scheme::ReNuca;
+    // Twin criticality predictors (both Re-NUCA flavours): the real CPT
+    // feeds the real hierarchy, the golden CPT feeds the golden system,
+    // and their verdicts must agree at every issue.
+    let renuca = matches!(scheme, Scheme::ReNuca | Scheme::ReNucaC2);
     let cpt_cfg = CptConfig::default();
     let mut cpts: Vec<Cpt> = (0..cfg.n_cores).map(|_| Cpt::new(cpt_cfg)).collect();
     let mut gcpts: Vec<GoldenCpt> = (0..cfg.n_cores)
@@ -594,43 +614,79 @@ fn final_state_compare(
             }
         }
         if let Some(real) = any.downcast_ref::<ReNuca>() {
-            let rs = &real.renuca_stats;
-            let gs = &g.policy.renuca_stats;
-            let real_tuple = (
-                rs.critical_fills,
-                rs.noncritical_fills,
-                rs.lookups_rnuca,
-                rs.lookups_snuca,
-            );
-            let gold_tuple = (
-                gs.critical_fills,
-                gs.noncritical_fills,
-                gs.lookups_rnuca,
-                gs.lookups_snuca,
-            );
-            if real_tuple != gold_tuple {
+            compare_renuca_state(real, g, cfg, ops, end)?;
+        }
+        // The compressed variant wraps a Re-NUCA whose MBV/placement state
+        // must match the golden Re-NUCA-C2 model exactly the same way.
+        if let Some(real) = any.downcast_ref::<ReNucaC2>() {
+            compare_renuca_state(real.renuca(), g, cfg, ops, end)?;
+        }
+    }
+
+    // 4b. Compressed-array state (Re-NUCA-C2): per-bank expansion and
+    // class-histogram counters, per-slot allocation class and write
+    // version, and the per-cell (sub-block) wear counters — plus the bank
+    // service model's expand ops, which must equal the expansion count
+    // (every expansion is exactly one extra data-array program).
+    match (h.compression_spec(), g.compress.as_ref()) {
+        (None, None) => {}
+        (Some(_), None) | (None, Some(_)) => {
+            return Err(fail(
+                "compression modelled on one side only (real vs golden)".to_owned(),
+            ));
+        }
+        (Some(spec), Some(gc)) => {
+            if spec.sub_blocks != gc.sub_blocks {
                 return Err(fail(format!(
-                    "Re-NUCA placement counters diverged (critical_fills, noncritical_fills, \
-                     lookups_rnuca, lookups_snuca): real {:?}, golden {:?}",
-                    real_tuple, gold_tuple
+                    "sub-block geometry diverged: real {}, golden {}",
+                    spec.sub_blocks, gc.sub_blocks
                 )));
             }
-            // MBV contents over every (owner core, page) the trace could
-            // have touched, plus everything the golden map still holds —
-            // catches both stale bits and lost bits.
-            let mut keys: BTreeSet<(usize, u64)> = g.policy.mbv.keys().copied().collect();
-            for op in ops {
-                let line = line_of(op.phys);
-                keys.insert((owner(line, cfg.n_cores), page_of_line(line)));
-            }
-            for (core, page) in keys {
-                let real_word = real.tlb(core).mbv(page);
-                let gold_word = g.policy.mbv_word(core, page);
-                if real_word != gold_word {
+            for bank in 0..cfg.n_banks {
+                let real_cs = h.compress_stats(bank);
+                let expand_ops = h.banks.stats(bank).expand_ops.get();
+                if expand_ops != real_cs.expansions {
                     return Err(fail(format!(
-                        "MBV diverged for core {core} page {page:#x}: real {real_word:#018x}, \
-                         golden {gold_word:#018x}"
+                        "bank {bank} service-model expand ops diverged from expansion count: \
+                         {expand_ops} ops, {} expansions",
+                        real_cs.expansions
                     )));
+                }
+                if real_cs.expansions != gc.expansions[bank] {
+                    return Err(fail(format!(
+                        "bank {bank} expansions diverged: real {}, golden {}",
+                        real_cs.expansions, gc.expansions[bank]
+                    )));
+                }
+                if real_cs.class_writes != gc.class_writes[bank] {
+                    return Err(fail(format!(
+                        "bank {bank} class-write histogram diverged: real {:?}, golden {:?}",
+                        real_cs.class_writes, gc.class_writes[bank]
+                    )));
+                }
+                for slot in 0..slots {
+                    let real_cv = h
+                        .compress_slot(bank, slot)
+                        .expect("compression state present");
+                    let gold_cv = (gc.class[bank][slot], gc.version[bank][slot]);
+                    if real_cv != gold_cv {
+                        return Err(fail(format!(
+                            "compressed slot state diverged at bank {bank} slot {slot} \
+                             (class, version): real {real_cv:?}, golden {gold_cv:?}"
+                        )));
+                    }
+                    for k in 0..spec.sub_blocks {
+                        let (real_w, gold_w) = (
+                            h.wear.cell_writes(bank, slot, k),
+                            gc.cell_wear[bank][slot * gc.sub_blocks + k],
+                        );
+                        if real_w != gold_w {
+                            return Err(fail(format!(
+                                "cell wear diverged at bank {bank} slot {slot} sub-block {k}: \
+                                 real {real_w}, golden {gold_w}"
+                            )));
+                        }
+                    }
                 }
             }
         }
@@ -667,6 +723,62 @@ fn final_state_compare(
         }
     }
 
+    Ok(())
+}
+
+/// Compare a real `ReNuca`'s placement counters and MBV contents against
+/// the golden policy model — shared between Re-NUCA and the Re-NUCA it
+/// carries inside Re-NUCA-C2.
+fn compare_renuca_state(
+    real: &ReNuca,
+    g: &GoldenSystem,
+    cfg: &SystemConfig,
+    ops: &[TraceOp],
+    end: usize,
+) -> Result<(), Mismatch> {
+    let fail = |detail: String| Mismatch {
+        op_index: end,
+        detail,
+    };
+    let rs = &real.renuca_stats;
+    let gs = &g.policy.renuca_stats;
+    let real_tuple = (
+        rs.critical_fills,
+        rs.noncritical_fills,
+        rs.lookups_rnuca,
+        rs.lookups_snuca,
+    );
+    let gold_tuple = (
+        gs.critical_fills,
+        gs.noncritical_fills,
+        gs.lookups_rnuca,
+        gs.lookups_snuca,
+    );
+    if real_tuple != gold_tuple {
+        return Err(fail(format!(
+            "Re-NUCA placement counters diverged (critical_fills, noncritical_fills, \
+             lookups_rnuca, lookups_snuca): real {:?}, golden {:?}",
+            real_tuple, gold_tuple
+        )));
+    }
+    // MBV contents over every (owner core, page) the trace could have
+    // touched, plus everything the golden map still holds — catches both
+    // stale bits and lost bits.
+    let mut keys: BTreeSet<(usize, u64)> = g.policy.mbv.keys().copied().collect();
+    for op in ops {
+        let line = line_of(op.phys);
+        keys.insert((owner(line, cfg.n_cores), page_of_line(line)));
+    }
+    for (core, page) in keys {
+        let real_word = real.tlb(core).mbv(page);
+        let gold_word = g.policy.mbv_word(core, page);
+        if real_word != gold_word {
+            return Err(fail(format!(
+                "MBV diverged for core {core} page {page:#x}: real {real_word:#018x}, \
+                 golden {gold_word:#018x}"
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -847,10 +959,15 @@ pub struct MutationReport {
 }
 
 /// The schemes whose injected bugs the self-check exercises: one
-/// stateless scheme for the `MutantPolicy` wrapper, plus every competitor
+/// stateless scheme for the `MutantPolicy` wrapper, plus every scheme
 /// with a bugged twin (see `inject_bug`).
-pub const MUTATION_SCHEMES: [Scheme; 4] =
-    [Scheme::SNuca, Scheme::Wec, Scheme::Coloring, Scheme::Mac];
+pub const MUTATION_SCHEMES: [Scheme; 5] = [
+    Scheme::SNuca,
+    Scheme::Wec,
+    Scheme::Coloring,
+    Scheme::Mac,
+    Scheme::ReNucaC2,
+];
 
 /// Prove the harness catches bugs: inject the per-scheme bug of
 /// `inject_bug` under `scheme`, demand a divergence, shrink it to a
@@ -1076,6 +1193,29 @@ mod tests {
         // crate depends on both — pin the twins together.
         assert_eq!(renuca_core::WEC_THRESHOLD, golden::GOLDEN_WEC_THRESHOLD);
         assert_eq!(renuca_core::COLORING_EPOCH, golden::GOLDEN_COLORING_EPOCH);
+    }
+
+    #[test]
+    fn golden_compression_model_mirrors_the_real_one() {
+        // Same duplication discipline for the compression content model:
+        // golden re-implements the size-class hash and mask arithmetic.
+        // Pin them together over a (seed, line, version) sweep.
+        for seed in [0u64, 0xC0DEC, u64::MAX] {
+            for line in (0..2048u64).map(|i| i.wrapping_mul(0x1234_5677)) {
+                for version in 0..8u32 {
+                    let real = compress::size_class(seed, line, version);
+                    let gold = golden::golden_size_class(seed, line, version);
+                    assert_eq!(real, gold, "class for ({seed:#x}, {line:#x}, {version})");
+                    for sub_blocks in [1usize, 2, 4, 8] {
+                        assert_eq!(
+                            compress::subblock_mask(sub_blocks, real, version),
+                            golden::golden_subblock_mask(sub_blocks, gold, version),
+                            "mask for ({sub_blocks}, {real}, {version})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -37,12 +37,14 @@
 pub mod budget;
 pub mod diff;
 pub mod figures;
+pub mod forecast;
 pub mod obs;
 pub mod pool;
 pub mod runner;
 
 pub use budget::Budget;
 pub use diff::{replay, ReplayReport};
+pub use forecast::{forecast_study, forecast_workload, ForecastRow, ForecastStudy};
 pub use obs::{Manifest, StatsSink};
 pub use pool::{parallel_map, parallel_map_threads};
 pub use runner::{run_single_app, run_workload, SchemeStudy};

@@ -20,7 +20,8 @@ use cmp_sim::config::SystemConfig;
 use cmp_sim::types::line_of;
 
 use crate::cache::GoldenCache;
-use crate::policy::GoldenPolicy;
+use crate::compress::GoldenCompress;
+use crate::policy::{GoldenPolicy, GoldenScheme};
 
 /// What kind of L3 write an event records.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,6 +110,8 @@ pub struct GoldenSystem {
     dir: BTreeMap<u64, DirEntry>,
     /// Per-bank, per-slot write counts (slot = set × assoc + way).
     pub wear: Vec<Vec<u64>>,
+    /// Compressed-array state, present only for Re-NUCA-C2.
+    pub compress: Option<GoldenCompress>,
     /// Per-core counters.
     pub per_core: Vec<GoldenPerCore>,
     /// Hierarchy counters.
@@ -162,6 +165,14 @@ impl GoldenSystem {
                 .collect(),
             dir: BTreeMap::new(),
             wear: vec![vec![0; cfg.l3_bank.lines()]; cfg.n_banks],
+            compress: (policy.scheme() == GoldenScheme::ReNucaC2).then(|| {
+                GoldenCompress::new(
+                    cfg.n_banks,
+                    cfg.l3_bank.lines(),
+                    cfg.l3_subblocks,
+                    cfg.compress_seed,
+                )
+            }),
             per_core: vec![GoldenPerCore::default(); cfg.n_cores],
             stats: GoldenHierarchyStats::default(),
             dir_stats: GoldenDirStats::default(),
@@ -261,7 +272,7 @@ impl GoldenSystem {
         }
         let out = self.l3[bank].fill(line, false);
         let slot = self.l3[bank].slot_index(out.set, out.way);
-        self.wear[bank][slot] += 1;
+        self.charge_write(bank, slot, line, true);
         self.stats.l3_fills += 1;
         self.stats.l3_writes += 1;
         events.push(GoldenEvent {
@@ -277,6 +288,17 @@ impl GoldenSystem {
         self.policy.on_l3_write(bank);
         if let Some(victim) = out.victim {
             self.evict_l3_victim(victim.line, victim.dirty, bank);
+        }
+    }
+
+    /// Charge one L3 write of `line` to `(bank, slot)`: the per-slot line
+    /// wear always, plus the compressed-array accounting when modelled.
+    /// Matches `MemoryHierarchy::charge_l3_write` (record_subblock_write
+    /// bumps the line counter exactly once per write too).
+    fn charge_write(&mut self, bank: usize, slot: usize, line: u64, is_fill: bool) {
+        self.wear[bank][slot] += 1;
+        if let Some(c2) = self.compress.as_mut() {
+            c2.charge(bank, slot, line, is_fill);
         }
     }
 
@@ -336,7 +358,7 @@ impl GoldenSystem {
             Some((set, way)) => {
                 self.l3[bank].mark_dirty(line);
                 let slot = self.l3[bank].slot_index(set, way);
-                self.wear[bank][slot] += 1;
+                self.charge_write(bank, slot, line, false);
             }
             None => {
                 // Inclusion violation — only reachable when the real
@@ -346,7 +368,7 @@ impl GoldenSystem {
                 debug_assert!(false, "golden: writeback {line:#x} missed inclusive L3");
                 let out = self.l3[bank].fill(line, true);
                 let slot = self.l3[bank].slot_index(out.set, out.way);
-                self.wear[bank][slot] += 1;
+                self.charge_write(bank, slot, line, true);
                 if let Some(ev) = out.victim {
                     self.evict_l3_victim(ev.line, ev.dirty, bank);
                 }

@@ -9,6 +9,8 @@
 //!   Naive, Re-NUCA) with `BTreeMap` state instead of the open-addressed
 //!   tables and hardware-shaped TLB of `renuca-core`,
 //! * [`cpt`] — the Criticality Prediction Table,
+//! * [`compress`] — the L2C2 size-class content model, sub-block masks and
+//!   per-cell wear for the compressed Re-NUCA-C2 variant,
 //! * [`hierarchy`] — a [`GoldenSystem`] replaying the L1 → L2 → L3 → DRAM
 //!   state machine of `cmp_sim::hierarchy::MemoryHierarchy` step by step,
 //! * [`trace`] — a seeded workload-trace generator and the compact
@@ -30,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod compress;
 pub mod cpt;
 pub mod hierarchy;
 pub mod policy;
 pub mod trace;
 
 pub use cache::GoldenCache;
+pub use compress::{golden_size_class, golden_subblock_mask, GoldenCompress};
 pub use cpt::GoldenCpt;
 pub use hierarchy::{GoldenEvent, GoldenEventKind, GoldenSystem};
 pub use policy::{GoldenPolicy, GoldenScheme, GOLDEN_COLORING_EPOCH, GOLDEN_WEC_THRESHOLD};

@@ -42,11 +42,15 @@ pub enum GoldenScheme {
     Coloring,
     /// MAC: S-NUCA placement over write-aware bank replacement.
     Mac,
+    /// Re-NUCA over a compressed (L2C2-style) data array: placement is
+    /// identical to Re-NUCA; the hierarchy additionally tracks sub-block
+    /// wear, allocation classes and expansions (see `crate::compress`).
+    ReNucaC2,
 }
 
 impl GoldenScheme {
-    /// All eight schemes, in `renuca_core::Scheme::ALL` order.
-    pub const ALL: [GoldenScheme; 8] = [
+    /// All nine schemes, in `renuca_core::Scheme::ALL` order.
+    pub const ALL: [GoldenScheme; 9] = [
         GoldenScheme::Naive,
         GoldenScheme::SNuca,
         GoldenScheme::ReNuca,
@@ -55,6 +59,7 @@ impl GoldenScheme {
         GoldenScheme::Wec,
         GoldenScheme::Coloring,
         GoldenScheme::Mac,
+        GoldenScheme::ReNucaC2,
     ];
 
     /// Display name matching `renuca_core::Scheme::name`.
@@ -68,6 +73,7 @@ impl GoldenScheme {
             GoldenScheme::Wec => "WEC",
             GoldenScheme::Coloring => "Coloring",
             GoldenScheme::Mac => "MAC",
+            GoldenScheme::ReNucaC2 => "Re-NUCA-C2",
         }
     }
 
@@ -258,7 +264,7 @@ impl GoldenPolicy {
                 .get(&line)
                 .copied()
                 .unwrap_or_else(|| self.coloring_bank(line)),
-            GoldenScheme::ReNuca => {
+            GoldenScheme::ReNuca | GoldenScheme::ReNucaC2 => {
                 let core = owner(line, self.n_banks);
                 let page = page_of_line(line);
                 let bit = line_index_in_page(line) as u32;
@@ -301,7 +307,7 @@ impl GoldenPolicy {
                 }
                 best
             }
-            GoldenScheme::ReNuca => {
+            GoldenScheme::ReNuca | GoldenScheme::ReNucaC2 => {
                 let core = owner(line, self.n_banks);
                 if predicted_critical {
                     self.rnuca_bank(core, line)
@@ -326,7 +332,7 @@ impl GoldenPolicy {
             GoldenScheme::Coloring => {
                 self.coloring_directory.insert(line, bank);
             }
-            GoldenScheme::ReNuca => {
+            GoldenScheme::ReNuca | GoldenScheme::ReNucaC2 => {
                 let core = owner(line, self.n_banks);
                 let page = page_of_line(line);
                 let bit = line_index_in_page(line) as u32;
@@ -372,7 +378,7 @@ impl GoldenPolicy {
                 let removed = self.coloring_directory.remove(&line);
                 debug_assert_eq!(removed, Some(bank), "golden Coloring directory out of sync");
             }
-            GoldenScheme::ReNuca => {
+            GoldenScheme::ReNuca | GoldenScheme::ReNucaC2 => {
                 let core = owner(line, self.n_banks);
                 let page = page_of_line(line);
                 let bit = line_index_in_page(line) as u32;

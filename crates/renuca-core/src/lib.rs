@@ -39,7 +39,7 @@ pub mod tlb;
 
 pub use criticality::{Cpt, CptConfig};
 pub use mapping::{
-    Coloring, Mac, NaiveOracle, PrivateMap, RNuca, ReNuca, ReNucaTwoProbe, SNuca, Wec,
+    Coloring, Mac, NaiveOracle, PrivateMap, RNuca, ReNuca, ReNucaC2, ReNucaTwoProbe, SNuca, Wec,
     COLORING_EPOCH, WEC_THRESHOLD,
 };
 pub use scheme::Scheme;

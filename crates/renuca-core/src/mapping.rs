@@ -567,6 +567,72 @@ impl LlcPlacement for ReNucaTwoProbe {
 }
 
 // ---------------------------------------------------------------------------
+// Re-NUCA-C2 (compressed ReRAM data array, L2C2-style — arXiv:2204.09504)
+// ---------------------------------------------------------------------------
+
+/// Re-NUCA placement over a *compressed* ReRAM data array (ROADMAP item 4:
+/// Escuin et al.'s L2C2). Placement decisions are bit-identical to
+/// [`ReNuca`] — compression rides *below* placement: each fill compacts the
+/// line to its content-model size class (1, 2 or 4 sub-blocks), only the
+/// written sub-blocks age, and an in-place write that outgrows its slot's
+/// allocation re-programs the line through an extra bank operation. All of
+/// that machinery lives in the substrate (`cmp_sim::hierarchy`), keyed off
+/// [`LlcPlacement::compression`]; this wrapper only carries the spec.
+pub struct ReNucaC2 {
+    inner: ReNuca,
+    spec: compress::CompressSpec,
+}
+
+impl ReNucaC2 {
+    /// Wrap a [`ReNuca`] policy with a compression spec.
+    pub fn new(inner: ReNuca, spec: compress::CompressSpec) -> Self {
+        ReNucaC2 { inner, spec }
+    }
+
+    /// The wrapped Re-NUCA policy (MBV/TLB inspection — the differential
+    /// harness compares the same state it compares for plain Re-NUCA).
+    pub fn renuca(&self) -> &ReNuca {
+        &self.inner
+    }
+
+    /// The bugged twin for the differential harness's mutation self-check:
+    /// flips the spec's `expand_on_equal` switch, so slots whose write
+    /// compresses to *exactly* the allocated class spuriously expand.
+    /// Never built by `Scheme::build_policy`.
+    pub fn bugged(mut self) -> Self {
+        self.spec.expand_on_equal = true;
+        self
+    }
+}
+
+impl LlcPlacement for ReNucaC2 {
+    fn name(&self) -> &'static str {
+        "Re-NUCA-C2"
+    }
+    fn lookup_bank(&mut self, meta: &AccessMeta) -> BankId {
+        self.inner.lookup_bank(meta)
+    }
+    fn fill_bank(&mut self, meta: &AccessMeta) -> BankId {
+        self.inner.fill_bank(meta)
+    }
+    fn on_fill(&mut self, meta: &AccessMeta, bank: BankId) {
+        self.inner.on_fill(meta, bank);
+    }
+    fn on_l3_write(&mut self, bank: BankId) {
+        self.inner.on_l3_write(bank);
+    }
+    fn on_evict(&mut self, line: u64, bank: BankId) {
+        self.inner.on_evict(line, bank);
+    }
+    fn compression(&self) -> Option<compress::CompressSpec> {
+        Some(self.spec)
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // WEC (write-endurance-aware redirection, Mittal arXiv:1311.0041)
 // ---------------------------------------------------------------------------
 

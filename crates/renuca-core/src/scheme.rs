@@ -9,11 +9,12 @@ use cmp_sim::config::SystemConfig;
 use cmp_sim::placement::{CriticalityPredictor, LlcPlacement, NeverCritical};
 
 use crate::criticality::{Cpt, CptConfig};
-use crate::mapping::{Coloring, Mac, NaiveOracle, PrivateMap, RNuca, ReNuca, SNuca, Wec};
+use crate::mapping::{Coloring, Mac, NaiveOracle, PrivateMap, RNuca, ReNuca, ReNucaC2, SNuca, Wec};
 
-/// The evaluated NUCA schemes: the paper's five (§V) plus the three
+/// The evaluated NUCA schemes: the paper's five (§V), the three
 /// wear-management competitors from the related work (the head-to-head
-/// study of ROADMAP item 3).
+/// study of ROADMAP item 3), and the compressed Re-NUCA variant
+/// (ROADMAP item 4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Address-interleaved static NUCA.
@@ -34,12 +35,16 @@ pub enum Scheme {
     /// Ruan et al.'s write-aware replacement over S-NUCA placement
     /// (arXiv:1606.03248).
     Mac,
+    /// Re-NUCA placement over an L2C2-style compressed ReRAM data array
+    /// (Escuin et al., arXiv:2204.09504): sub-block wear + expansions.
+    ReNucaC2,
 }
 
 impl Scheme {
     /// All schemes: the paper's five in their usual presentation order,
-    /// then the three related-work competitors.
-    pub const ALL: [Scheme; 8] = [
+    /// then the three related-work competitors, then the compressed
+    /// variant.
+    pub const ALL: [Scheme; 9] = [
         Scheme::Naive,
         Scheme::SNuca,
         Scheme::ReNuca,
@@ -48,6 +53,7 @@ impl Scheme {
         Scheme::Wec,
         Scheme::Coloring,
         Scheme::Mac,
+        Scheme::ReNucaC2,
     ];
 
     /// The related-work wear-management competitors (the head-to-head
@@ -79,6 +85,7 @@ impl Scheme {
             Scheme::Wec => "WEC",
             Scheme::Coloring => "Coloring",
             Scheme::Mac => "MAC",
+            Scheme::ReNucaC2 => "Re-NUCA-C2",
         }
     }
 
@@ -108,6 +115,15 @@ impl Scheme {
                 cfg.n_banks * cfg.l3_bank.lines(),
             )),
             Scheme::Mac => Box::new(Mac::new(cfg.n_banks)),
+            Scheme::ReNucaC2 => Box::new(ReNucaC2::new(
+                ReNuca::with_tlb_geometry(
+                    cfg.noc.cols,
+                    cfg.noc.rows,
+                    cfg.tlb_entries,
+                    cfg.tlb_assoc,
+                ),
+                compress::CompressSpec::new(cfg.l3_subblocks, cfg.compress_seed),
+            )),
         }
     }
 
@@ -120,7 +136,7 @@ impl Scheme {
         cpt: CptConfig,
     ) -> Vec<Box<dyn CriticalityPredictor>> {
         match self {
-            Scheme::ReNuca => (0..cfg.n_cores)
+            Scheme::ReNuca | Scheme::ReNucaC2 => (0..cfg.n_cores)
                 .map(|_| Box::new(Cpt::new(cpt)) as Box<dyn CriticalityPredictor>)
                 .collect(),
             _ => (0..cfg.n_cores)
@@ -164,6 +180,23 @@ mod tests {
             };
             let b = p.lookup_bank(&meta);
             assert!(b < cfg.n_banks);
+        }
+    }
+
+    #[test]
+    fn only_the_compressed_scheme_drives_compression() {
+        let cfg = SystemConfig::small(16);
+        for s in Scheme::ALL {
+            let p = s.build_policy(&cfg);
+            match s {
+                Scheme::ReNucaC2 => {
+                    let spec = p.compression().expect("C2 must compress");
+                    assert_eq!(spec.sub_blocks, cfg.l3_subblocks);
+                    assert_eq!(spec.seed, cfg.compress_seed);
+                    assert!(!spec.expand_on_equal, "factory never builds the bug");
+                }
+                _ => assert!(p.compression().is_none(), "{s} must not compress"),
+            }
         }
     }
 

@@ -6,8 +6,8 @@ use sim_rng::SimRng;
 use cmp_sim::placement::{AccessMeta, CriticalityPredictor, LlcAccessKind, LlcPlacement};
 use cmp_sim::types::{page_of_line, phys_addr};
 use renuca_core::{
-    Coloring, Cpt, CptConfig, EnhancedTlb, Mac, NaiveOracle, PrivateMap, RNuca, ReNuca, SNuca,
-    Scheme, Wec, COLORING_EPOCH,
+    Coloring, Cpt, CptConfig, EnhancedTlb, Mac, NaiveOracle, PrivateMap, RNuca, ReNuca, ReNucaC2,
+    SNuca, Scheme, Wec, COLORING_EPOCH,
 };
 
 const CASES: usize = 64;
@@ -201,6 +201,10 @@ fn all_policies_stay_in_range_on_any_core_count() {
             Box::new(Wec::new(n)),
             Box::new(Coloring::new(n)),
             Box::new(Mac::new(n)),
+            Box::new(ReNucaC2::new(
+                ReNuca::new(cols, rows),
+                compress::CompressSpec::new(4, 0xC0DEC),
+            )),
         ];
         assert_eq!(policies.len(), Scheme::ALL.len(), "keep this list total");
         for case in 0..CASES {

@@ -4,7 +4,7 @@
 #
 #   scripts/bench_baseline.sh [OUT.json] [BENCH_TARGET]
 #
-# Defaults to BENCH_4.json from the `micro` target with 50 samples per
+# Defaults to BENCH_5.json from the `micro` target with 50 samples per
 # bench (override with RENUCA_BENCH_SAMPLES). The campaign scheduler
 # baseline is
 #
@@ -15,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_4.json}"
+OUT="${1:-BENCH_5.json}"
 TARGET="${2:-micro}"
 SAMPLES="${RENUCA_BENCH_SAMPLES:-50}"
 

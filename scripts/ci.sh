@@ -17,7 +17,7 @@ echo "== workspace tests =="
 cargo test -q --workspace
 
 echo "== differential smoke: bounded seeded corpus vs the golden model =="
-# Fixed seeds, all eight placement policies, pow2 and non-pow2 meshes
+# Fixed seeds, all nine placement policies, pow2 and non-pow2 meshes
 # (see TESTING.md), plus the per-scheme mutation self-checks. diffcheck
 # exits non-zero on any divergence and writes the ddmin-shrunk
 # reproducer under out/.
@@ -64,6 +64,22 @@ if ! grep -qE '"llc\.queue_cycles_total":0[,}]' "$MANIFEST"; then
     exit 1
 fi
 echo "bank-queue smoke OK"
+
+echo "== forecast smoke: closed-form lifetime forecast within tolerance =="
+# The L2C2 analytical forecast must describe the simulated compressed
+# cache on every WL/WB workload: the forecast binary itself exits
+# non-zero when any workload's iso-timing error on the lifetime
+# aggregates exceeds compress::FORECAST_TOLERANCE (DESIGN.md §15). The
+# committed full-budget numbers live in docs/forecast.report.json; this
+# runs the same hard gate at a CI-sized budget.
+RENUCA_WARMUP=5000 RENUCA_MEASURE=60000 \
+    ./target/release/forecast --stats "$MANIFEST" >/dev/null
+if ! grep -q '"forecast.max_rel_err"' "$MANIFEST"; then
+    echo "forecast smoke FAILED: manifest carries no forecast.max_rel_err"
+    head -c 400 "$MANIFEST"; echo
+    exit 1
+fi
+echo "forecast smoke OK"
 
 echo "== campaign smoke: run, crash, resume, verify, byte-compare =="
 CAMP_TMP="$(mktemp -d)"
@@ -126,7 +142,7 @@ if ! cmp -s "$CAMP_TMP/h2h-a/report.json" "$CAMP_TMP/h2h-b/report.json"; then
     echo "head-to-head smoke FAILED: resumed report differs from uninterrupted run"
     exit 1
 fi
-for s in Re-NUCA S-NUCA WEC Coloring MAC; do
+for s in Re-NUCA Re-NUCA-C2 S-NUCA WEC Coloring MAC; do
     if ! grep -q "\"scheme\":\"$s\"" "$CAMP_TMP/h2h-a/report.json"; then
         echo "head-to-head smoke FAILED: scheme $s missing from report"
         exit 1
@@ -206,33 +222,36 @@ if [ "$BENCH_N" -lt 10 ] || [ "$BENCH_BAD" -ne 0 ]; then
 fi
 echo "bench smoke OK ($BENCH_N benches)"
 
-echo "== perf guard: end-to-end bench vs committed baseline =="
-# The end-to-end system bench must stay within 25% of the committed
-# baseline (BENCH_4.json, regenerated via scripts/bench_baseline.sh).
+echo "== perf guard: end-to-end benches vs committed baseline =="
+# The end-to-end system benches — plain Re-NUCA and the compressed
+# Re-NUCA-C2 variant — must stay within 25% of the committed baseline
+# (BENCH_5.json, regenerated via scripts/bench_baseline.sh).
 # min_ns is the stablest statistic under scheduler noise, but host-to-host
 # wall-time still varies; set RENUCA_SKIP_PERF_GUARD=1 when running CI on
 # a machine the baseline was not recorded on.
-GUARD_BENCH="system/16core_renuca_10k_instr"
 if [ "${RENUCA_SKIP_PERF_GUARD:-0}" = "1" ]; then
     echo "perf guard SKIPPED (RENUCA_SKIP_PERF_GUARD=1)"
-elif [ ! -f BENCH_4.json ]; then
-    echo "perf guard SKIPPED (no BENCH_4.json baseline)"
+elif [ ! -f BENCH_5.json ]; then
+    echo "perf guard SKIPPED (no BENCH_5.json baseline)"
 else
-    BASE_MIN="$(grep -o "{\"bench\":\"$GUARD_BENCH\"[^}]*}" BENCH_4.json \
-        | grep -o '"min_ns":[0-9.eE+-]*' | head -1 | cut -d: -f2)"
-    LIVE_MIN="$(printf '%s\n' "$BENCH_OUT" \
-        | grep -o "{\"bench\":\"$GUARD_BENCH\"[^}]*}" \
-        | grep -o '"min_ns":[0-9.eE+-]*' | head -1 | cut -d: -f2)"
-    if [ -z "$BASE_MIN" ] || [ -z "$LIVE_MIN" ]; then
-        echo "perf guard FAILED: could not extract $GUARD_BENCH min_ns"
-        exit 1
-    fi
-    if ! awk -v live="$LIVE_MIN" -v base="$BASE_MIN" \
-        'BEGIN { exit !(live <= base * 1.25) }'; then
-        echo "perf guard FAILED: $GUARD_BENCH min ${LIVE_MIN}ns > 1.25x baseline ${BASE_MIN}ns"
-        exit 1
-    fi
-    echo "perf guard OK ($GUARD_BENCH min ${LIVE_MIN}ns vs baseline ${BASE_MIN}ns)"
+    for GUARD_BENCH in system/16core_renuca_10k_instr \
+                       system/16core_renucac2_10k_instr; do
+        BASE_MIN="$(grep -o "{\"bench\":\"$GUARD_BENCH\"[^}]*}" BENCH_5.json \
+            | grep -o '"min_ns":[0-9.eE+-]*' | head -1 | cut -d: -f2)"
+        LIVE_MIN="$(printf '%s\n' "$BENCH_OUT" \
+            | grep -o "{\"bench\":\"$GUARD_BENCH\"[^}]*}" \
+            | grep -o '"min_ns":[0-9.eE+-]*' | head -1 | cut -d: -f2)"
+        if [ -z "$BASE_MIN" ] || [ -z "$LIVE_MIN" ]; then
+            echo "perf guard FAILED: could not extract $GUARD_BENCH min_ns"
+            exit 1
+        fi
+        if ! awk -v live="$LIVE_MIN" -v base="$BASE_MIN" \
+            'BEGIN { exit !(live <= base * 1.25) }'; then
+            echo "perf guard FAILED: $GUARD_BENCH min ${LIVE_MIN}ns > 1.25x baseline ${BASE_MIN}ns"
+            exit 1
+        fi
+        echo "perf guard OK ($GUARD_BENCH min ${LIVE_MIN}ns vs baseline ${BASE_MIN}ns)"
+    done
 fi
 
 echo "== bench smoke: campaign scheduler overhead =="
